@@ -1,0 +1,435 @@
+(* Benchmark harness: regenerates every quantitative artefact of the paper
+   (see DESIGN.md section 3 for the experiment index):
+
+     E1  Lemma 2 / Figure 1 outcomes per TM
+     E2  Theorem 3(1): validation step complexity, adversarial, per TM
+     E3  Theorem 3(2): distinct base objects in the last read + tryC
+     E4  Theorem 9: RMR totals of mutexes incl. Algorithm 1, vs n log n
+     E5  Tightness (Section 6): solo read-only cost, quadratic vs linear
+     E6  Ablation: visible reads escape Theorem 3 by failing its premise
+     E7  Ablation/Theorem 7: Algorithm 1 hand-off overhead is O(1)/passage
+     E8  Extension: contention sweep + hotspot-skew ablation
+     E9  Extension: RMRs of a fixed transactional workload per TM
+
+   plus Bechamel wall-clock micro-benchmarks of the simulator itself (one
+   Test.make per experiment driver and per TM).
+
+     dune exec bench/main.exe           # all experiment tables + timings
+     dune exec bench/main.exe -- fast   # skip the Bechamel timing pass
+*)
+
+open Ptm_core
+open Ptm_bounds
+
+let hr title =
+  Fmt.pr "@.%s@.%s@.@." title (String.make (String.length title) '-')
+
+(* ------------------------------------------------------------------ *)
+(* E1: Lemma 2 / Figure 1                                              *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  hr "E1. Lemma 2 / Figure 1: read_phi(X_i) after pi^{i-1} . rho^i";
+  Fmt.pr "%-10s" "tm";
+  List.iter (fun i -> Fmt.pr " %9s" (Printf.sprintf "i=%d" i)) [ 1; 2; 4; 8; 16 ];
+  Fmt.pr " %10s %18s@." "fig1a" "pi indist.?";
+  List.iter
+    (fun (module T : Tm_intf.S) ->
+      Fmt.pr "%-10s" T.name;
+      let cell_of o =
+        match o with
+        | Lemma2.Returned_new -> "nv"
+        | Lemma2.Returned v -> Printf.sprintf "old(%d)" v
+        | Lemma2.Aborted -> "abort"
+        | Lemma2.Blocked -> "blocked"
+      in
+      let last = ref None in
+      List.iter
+        (fun i ->
+          let r = Lemma2.run (module T) ~i in
+          last := Some r;
+          Fmt.pr " %9s" (cell_of r.Lemma2.outcome))
+        [ 1; 2; 4; 8; 16 ];
+      (match !last with
+      | Some r ->
+          Fmt.pr " %10s %18s@."
+            (cell_of r.Lemma2.outcome_writer_first)
+            (if r.Lemma2.outcome = Lemma2.Blocked then "-"
+             else if r.Lemma2.prefix_indistinguishable then "yes"
+             else "no")
+      | None -> Fmt.pr "@."))
+    Ptm_tms.Registry.all;
+  Fmt.pr
+    "@.expected: weak-DAP + invisible-read TMs cannot distinguish the two@.\
+     orders of Figure 1 (pi indist. = yes) and must return nv; tl2 aborts@.\
+     and mvtm serves the old version, both because their global clock makes@.\
+     the orders distinguishable (not DAP); sgl blocks (the paused reader@.\
+     holds the global lock). In the fig1a order every TM returns nv: the@.\
+     writer precedes the reader in real time.@."
+
+(* ------------------------------------------------------------------ *)
+(* E2/E3: Theorem 3                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let ms = [ 2; 4; 8; 16; 32 ]
+
+let e2_e3 () =
+  hr
+    "E2. Theorem 3(1): adversarial read-validation steps (sum over i of \
+     worst case)";
+  Fmt.pr "%-10s" "tm";
+  List.iter (fun m -> Fmt.pr " %10s" (Printf.sprintf "m=%d" m)) ms;
+  Fmt.pr " %14s@." "verdict";
+  let reports =
+    List.map
+      (fun (module T : Tm_intf.S) ->
+        ( (module T : Tm_intf.S),
+          List.map (fun m -> Theorem3.run (module T) ~m) ms ))
+      Ptm_tms.Registry.all
+  in
+  List.iter
+    (fun ((module T : Tm_intf.S), rs) ->
+      Fmt.pr "%-10s" T.name;
+      List.iter
+        (fun r ->
+          if r.Theorem3.blocked then Fmt.pr " %10s" "blocked"
+          else Fmt.pr " %10d" r.Theorem3.total_steps_max)
+        rs;
+      let last = List.nth rs (List.length rs - 1) in
+      Fmt.pr " %14s"
+        (if last.Theorem3.blocked then "blocked"
+         else if Theorem3.meets_step_bound last then "meets"
+         else "escapes");
+      (if not last.Theorem3.blocked then
+         let points =
+           List.map2
+             (fun m r ->
+               (float_of_int m, float_of_int r.Theorem3.total_steps_max))
+             ms rs
+         in
+         Fmt.pr "  %a" Fit.pp (Fit.best ~candidates:Fit.shapes_m points));
+      Fmt.pr "@.")
+    reports;
+  Fmt.pr "%-10s" "bound:";
+  List.iter (fun m -> Fmt.pr " %10d" (m * (m - 1) / 2)) ms;
+  Fmt.pr "@.";
+  hr "E3. Theorem 3(2): distinct base objects in the m-th read + tryC";
+  Fmt.pr "%-10s" "tm";
+  List.iter (fun m -> Fmt.pr " %10s" (Printf.sprintf "m=%d" m)) ms;
+  Fmt.pr " %14s@." "verdict";
+  List.iter
+    (fun ((module T : Tm_intf.S), rs) ->
+      Fmt.pr "%-10s" T.name;
+      List.iter
+        (fun r ->
+          if r.Theorem3.blocked then Fmt.pr " %10s" "blocked"
+          else Fmt.pr " %10d" r.Theorem3.last_read_distinct)
+        rs;
+      let last = List.nth rs (List.length rs - 1) in
+      Fmt.pr " %14s@."
+        (if last.Theorem3.blocked then "blocked"
+         else if Theorem3.meets_space_bound last then "meets"
+         else "escapes"))
+    reports;
+  Fmt.pr "%-10s" "bound:";
+  List.iter (fun m -> Fmt.pr " %10d" (m - 1)) ms;
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* E4: Theorem 9 RMR sweep                                             *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  hr "E4. Theorem 9: total RMRs, n processes x 2 critical sections each";
+  let ns = [ 2; 4; 8; 16; 32; 64 ] in
+  let rows =
+    Theorem9.sweep ~locks:Ptm_mutex.Mutex_registry.all ~ns ~rounds:2 ()
+  in
+  List.iter
+    (fun model ->
+      Fmt.pr "@.[%s]@." (Ptm_machine.Rmr.model_name model);
+      Fmt.pr "%-22s" "lock";
+      List.iter (fun n -> Fmt.pr " %8s" (Printf.sprintf "n=%d" n)) ns;
+      Fmt.pr "@.";
+      List.iter
+        (fun (module L : Ptm_mutex.Mutex_intf.S) ->
+          Fmt.pr "%-22s" L.name;
+          List.iter
+            (fun n ->
+              let r =
+                List.find
+                  (fun r -> r.Theorem9.lock = L.name && r.Theorem9.n = n)
+                  rows
+              in
+              Fmt.pr " %8d" (List.assoc model r.Theorem9.rmr))
+            ns;
+          Fmt.pr "@.")
+        Ptm_mutex.Mutex_registry.all;
+      Fmt.pr "%-22s" "(2n log2 n reference)";
+      List.iter
+        (fun n -> Fmt.pr " %8d" (int_of_float (2. *. Theorem9.nlogn n)))
+        ns;
+      Fmt.pr "@.")
+    Ptm_machine.Rmr.all_models;
+  Fmt.pr "@.best-fit growth per lock (CC write-back | DSM):@.";
+  List.iter
+    (fun (module L : Ptm_mutex.Mutex_intf.S) ->
+      let series model =
+        List.filter_map
+          (fun r ->
+            if r.Theorem9.lock = L.name then
+              Some
+                ( float_of_int r.Theorem9.n,
+                  float_of_int (List.assoc model r.Theorem9.rmr) )
+            else None)
+          rows
+      in
+      let wb =
+        Fit.best ~candidates:Fit.shapes_n
+          (series Ptm_machine.Rmr.Cc_write_back)
+      in
+      let dsm =
+        Fit.best ~candidates:Fit.shapes_n (series Ptm_machine.Rmr.Dsm)
+      in
+      Fmt.pr "  %-22s %a | %a@." L.name Fit.pp wb Fit.pp dsm)
+    Ptm_mutex.Mutex_registry.all;
+  Fmt.pr
+    "@.expected shapes: mcs linear (O(1)/passage, via fetch-and-store —@.\
+     outside the theorem's primitive class); tournament / yang-anderson@.\
+     ~ n log n; tas/ttas superlinear; tm-mutex(oneshot-cas) = Algorithm 1@.\
+     over a read/write/conditional TM, subject to the Omega(n log n) bound.@."
+
+(* ------------------------------------------------------------------ *)
+(* E5/E6: tightness + visible-reads ablation                           *)
+(* ------------------------------------------------------------------ *)
+
+let e5_e6 () =
+  hr "E5. Tightness: solo read-only transaction cost (total steps incl. tryC)";
+  let mss = [ 8; 16; 32; 64; 128 ] in
+  Fmt.pr "%-10s" "tm";
+  List.iter (fun m -> Fmt.pr " %8s" (Printf.sprintf "m=%d" m)) mss;
+  Fmt.pr "@.";
+  List.iter
+    (fun (module T : Tm_intf.S) ->
+      Fmt.pr "%-10s" T.name;
+      let points = ref [] in
+      List.iter
+        (fun m ->
+          let c = Tightness.read_only_cost (module T) ~m in
+          points :=
+            (float_of_int m, float_of_int c.Tightness.total) :: !points;
+          Fmt.pr " %8d" c.Tightness.total)
+        mss;
+      Fmt.pr "  %a@." Fit.pp (Fit.best ~candidates:Fit.shapes_m !points))
+    Ptm_tms.Registry.all;
+  Fmt.pr "%-10s" "m(m-1)/2:";
+  List.iter (fun m -> Fmt.pr " %8d" (m * (m - 1) / 2)) mss;
+  Fmt.pr "@.";
+  Fmt.pr
+    "@.E6 (ablation): dstm/lazy-orec pay Theta(m^2) even uncontended — the@.\
+     price of weak DAP + invisible reads; visread (visible reads), tl2@.\
+     (global clock) and norec (global seqlock) are linear, each by giving@.\
+     up one premise of Theorem 3.@."
+
+(* ------------------------------------------------------------------ *)
+(* E7: Theorem 7 overhead split                                        *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  hr "E7. Theorem 7: Algorithm 1 RMR overhead split (CC write-back)";
+  Fmt.pr "%-18s %4s %10s %12s %18s@." "substrate TM" "n" "TM RMRs" "hand-off"
+    "hand-off/passage";
+  List.iter
+    (fun (module T : Tm_intf.S) ->
+      List.iter
+        (fun n ->
+          let o =
+            Theorem9.tm_overhead (module T) ~n ~rounds:3
+              ~model:Ptm_machine.Rmr.Cc_write_back ()
+          in
+          Fmt.pr "%-18s %4d %10d %12d %18.2f@." T.name n o.Theorem9.tm_rmr
+            o.Theorem9.handoff_rmr o.Theorem9.handoff_per_passage)
+        [ 2; 4; 8; 16; 32 ])
+    [ (module Ptm_tms.Oneshot : Tm_intf.S); (module Ptm_tms.Sgl : Tm_intf.S) ];
+  Fmt.pr
+    "@.the hand-off column is the cost Algorithm 1 adds on top of the TM:@.\
+     it stays constant per passage as n grows (Theorem 7's O(1) overhead),@.\
+     so the TM itself must carry the Omega(n log n).@."
+
+(* ------------------------------------------------------------------ *)
+(* E8: contention sweep — abort rate and step cost per commit          *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  hr "E8. Contention sweep: aborted attempts / total steps per committed tx";
+  let ns = [ 1; 2; 4; 8 ] in
+  Fmt.pr "%-10s" "tm";
+  List.iter (fun n -> Fmt.pr " %16s" (Printf.sprintf "n=%d" n)) ns;
+  Fmt.pr "@.";
+  List.iter
+    (fun (module T : Tm_intf.S) ->
+      Fmt.pr "%-10s" T.name;
+      List.iter
+        (fun n ->
+          let w =
+            Workload.random ~seed:1234 ~nprocs:n ~nobjs:2 ~txs_per_proc:4
+              ~ops_per_tx:3 ~write_ratio:0.8 ()
+          in
+          let o =
+            Runner.run (module T) ~retries:1000
+              ~schedule:(Runner.Random_sched 77) w
+          in
+          let steps =
+            let s = ref 0 in
+            for pid = 0 to n - 1 do
+              s := !s + Ptm_machine.Machine.steps_of o.Runner.machine pid
+            done;
+            !s
+          in
+          Fmt.pr " %16s"
+            (Printf.sprintf "%da %.0fs/c" o.Runner.aborts
+               (float_of_int steps /. float_of_int (max 1 o.Runner.commits))))
+        ns;
+      Fmt.pr "@.")
+    Ptm_tms.Registry.all;
+  Fmt.pr
+    "@.(Na = aborted attempts, s/c = machine steps per committed@.\
+     transaction.) progressiveness in practice: aborts appear only once@.\
+     processes overlap (n >= 2); sgl never aborts but serializes; the@.\
+     mvtm multi-version reader never aborts read-only transactions.@.";
+  Fmt.pr "@.skew ablation (4 procs, 8 objects): uniform vs 90%% on 2 hot objects@.";
+  Fmt.pr "%-10s %18s %18s@." "tm" "uniform" "hotspot";
+  List.iter
+    (fun (module T : Tm_intf.S) ->
+      let run w =
+        let o =
+          Runner.run (module T) ~retries:1000
+            ~schedule:(Runner.Random_sched 77) w
+        in
+        Printf.sprintf "%da %dc" o.Runner.aborts o.Runner.commits
+      in
+      let uniform =
+        Workload.random ~seed:901 ~nprocs:4 ~nobjs:8 ~txs_per_proc:4
+          ~ops_per_tx:3 ~write_ratio:0.6 ()
+      in
+      let hot =
+        Workload.random ~seed:901 ~nprocs:4 ~nobjs:8 ~txs_per_proc:4
+          ~ops_per_tx:3 ~write_ratio:0.6 ~hotspot:(2, 0.9) ()
+      in
+      Fmt.pr "%-10s %18s %18s@." T.name (run uniform) (run hot))
+    Ptm_tms.Registry.all;
+  Fmt.pr
+    "@.skew concentrates conflicts: abort counts jump for the aborting TMs@.\
+     while the blocking ones (sgl, norec writers) serialize instead.@."
+
+(* ------------------------------------------------------------------ *)
+(* E9: RMR cost of TM workloads under the three §5 models              *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  hr "E9. RMRs of a fixed transactional workload (4 procs x 4 txs, 8 objects)";
+  Fmt.pr "%-10s %10s %10s %10s %8s@." "tm" "CC/WT" "CC/WB" "DSM" "steps";
+  List.iter
+    (fun (module T : Tm_intf.S) ->
+      let w =
+        Workload.random ~seed:2024 ~nprocs:4 ~nobjs:8 ~txs_per_proc:4
+          ~ops_per_tx:4 ~write_ratio:0.5 ()
+      in
+      let o =
+        Runner.run (module T) ~retries:1000 ~schedule:(Runner.Random_sched 5) w
+      in
+      let m = o.Runner.machine in
+      let tr = Ptm_machine.Machine.trace m in
+      let count model =
+        (Ptm_machine.Rmr.count model ~nprocs:4 (Ptm_machine.Machine.memory m)
+           tr)
+          .Ptm_machine.Rmr.total
+      in
+      let steps =
+        List.length (Ptm_machine.Trace.mem_events tr)
+      in
+      Fmt.pr "%-10s %10d %10d %10d %8d@." T.name
+        (count Ptm_machine.Rmr.Cc_write_through)
+        (count Ptm_machine.Rmr.Cc_write_back)
+        (count Ptm_machine.Rmr.Dsm) steps)
+    Ptm_tms.Registry.all;
+  Fmt.pr
+    "@.centralized metadata (tl2/norec/mvtm clocks, sgl lock) keeps step@.\
+     counts low but concentrates RMRs on hot cells; the DAP TMs spread@.\
+     traffic across per-object orecs.@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock micro-benchmarks of the experiment drivers      *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_pass () =
+  hr "Wall-clock timings of the simulation drivers (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    [
+      Test.make ~name:"e1-lemma2-dstm-i8"
+        (Staged.stage (fun () -> ignore (Lemma2.run (module Ptm_tms.Dstm) ~i:8)));
+      Test.make ~name:"e2-thm3-dstm-m8"
+        (Staged.stage (fun () ->
+             ignore (Theorem3.run (module Ptm_tms.Dstm) ~m:8)));
+      Test.make ~name:"e4-mutex-mcs-n8"
+        (Staged.stage (fun () ->
+             ignore
+               (Ptm_mutex.Harness.run (module Ptm_mutex.Mcs) ~nprocs:8
+                  ~rounds:2 ())));
+      Test.make ~name:"e4-tm-mutex-n8"
+        (Staged.stage (fun () ->
+             ignore
+               (Ptm_mutex.Harness.run
+                  (module Ptm_mutex.Mutex_registry.Tm_oneshot)
+                  ~nprocs:8 ~rounds:2 ())));
+      Test.make ~name:"e5-tightness-tl2-m64"
+        (Staged.stage (fun () ->
+             ignore (Tightness.read_only_cost (module Ptm_tms.Tl2) ~m:64)));
+    ]
+    @ (* one standard-workload simulation timing per TM *)
+    List.map
+      (fun (module T : Tm_intf.S) ->
+        Test.make ~name:("workload-" ^ T.name)
+          (Staged.stage (fun () ->
+               let w =
+                 Workload.random ~seed:3 ~nprocs:4 ~nobjs:8 ~txs_per_proc:4
+                   ~ops_per_tx:4 ()
+               in
+               ignore
+                 (Runner.run (module T) ~retries:30
+                    ~schedule:(Runner.Random_sched 3) w))))
+      Ptm_tms.Registry.all
+  in
+  let test = Test.make_grouped ~name:"ptm" ~fmt:"%s/%s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  List.iter
+    (fun name ->
+      match Analyze.OLS.estimates (Hashtbl.find results name) with
+      | Some [ est ] -> Fmt.pr "%-32s %12.0f ns/run@." name est
+      | _ -> Fmt.pr "%-32s (no estimate)@." name)
+    (List.sort compare names)
+
+let () =
+  let fast = Array.exists (fun a -> a = "fast") Sys.argv in
+  Fmt.pr
+    "Progressive Transactional Memory in Time and Space — experiment suite@.";
+  e1 ();
+  e2_e3 ();
+  e4 ();
+  e5_e6 ();
+  e7 ();
+  e8 ();
+  e9 ();
+  if not fast then bechamel_pass ();
+  Fmt.pr "@.done.@."

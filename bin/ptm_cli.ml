@@ -1,0 +1,301 @@
+(* Command-line front-end: run individual experiments, ad-hoc workloads and
+   checks without editing code.
+
+     dune exec bin/ptm_cli.exe -- --help
+     dune exec bin/ptm_cli.exe -- lemma2 --tm dstm -i 6
+     dune exec bin/ptm_cli.exe -- thm3 --tm lazy-orec -m 12
+     dune exec bin/ptm_cli.exe -- rmr --lock mcs --lock tas -n 4 -n 16
+     dune exec bin/ptm_cli.exe -- workload --tm tl2 --seed 3 --check opacity
+     dune exec bin/ptm_cli.exe -- tightness -m 64
+*)
+
+open Cmdliner
+
+let tm_conv =
+  let parse s =
+    match Ptm_tms.Registry.by_name s with
+    | Some tm -> Ok tm
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown TM %S (try: %s)" s
+               (String.concat ", "
+                  (List.map
+                     (fun (module T : Ptm_core.Tm_intf.S) -> T.name)
+                     (((module Ptm_tms.Oneshot) : Ptm_core.Tm_intf.tm)
+                     :: Ptm_tms.Registry.all)))))
+  in
+  let print ppf (module T : Ptm_core.Tm_intf.S) = Fmt.string ppf T.name in
+  Arg.conv (parse, print)
+
+let lock_conv =
+  let parse s =
+    match Ptm_mutex.Mutex_registry.by_name s with
+    | Some l -> Ok l
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown lock %S (try: %s)" s
+               (String.concat ", "
+                  (List.map
+                     (fun (module L : Ptm_mutex.Mutex_intf.S) -> L.name)
+                     Ptm_mutex.Mutex_registry.all))))
+  in
+  let print ppf (module L : Ptm_mutex.Mutex_intf.S) = Fmt.string ppf L.name in
+  Arg.conv (parse, print)
+
+let tm_arg =
+  Arg.(
+    value
+    & opt tm_conv (module Ptm_tms.Dstm : Ptm_core.Tm_intf.S)
+    & info [ "tm" ] ~docv:"TM" ~doc:"TM implementation to drive.")
+
+(* ---------------- lemma2 ---------------- *)
+
+let lemma2_cmd =
+  let i_arg =
+    Arg.(value & opt int 4 & info [ "i" ] ~docv:"I" ~doc:"Read-set size.")
+  in
+  let run tm i =
+    Fmt.pr "%a@." Ptm_bounds.Lemma2.pp_report (Ptm_bounds.Lemma2.run tm ~i)
+  in
+  Cmd.v
+    (Cmd.info "lemma2" ~doc:"Execute the Lemma 2 / Figure 1 construction.")
+    Term.(const run $ tm_arg $ i_arg)
+
+(* ---------------- thm3 ---------------- *)
+
+let thm3_cmd =
+  let m_arg =
+    Arg.(value & opt int 8 & info [ "m" ] ~docv:"M" ~doc:"Read-set size.")
+  in
+  let run tm m =
+    Fmt.pr "%a@." Ptm_bounds.Theorem3.pp_report (Ptm_bounds.Theorem3.run tm ~m)
+  in
+  Cmd.v
+    (Cmd.info "thm3"
+       ~doc:
+         "Run the Theorem 3 adversary: validation step complexity and \
+          last-read space.")
+    Term.(const run $ tm_arg $ m_arg)
+
+(* ---------------- tightness ---------------- *)
+
+let tightness_cmd =
+  let m_arg =
+    Arg.(value & opt int 32 & info [ "m" ] ~docv:"M" ~doc:"Read-set size.")
+  in
+  let run m =
+    List.iter
+      (fun tm ->
+        Fmt.pr "%a@." Ptm_bounds.Tightness.pp_cost
+          (Ptm_bounds.Tightness.read_only_cost tm ~m))
+      Ptm_tms.Registry.all
+  in
+  Cmd.v
+    (Cmd.info "tightness"
+       ~doc:"Solo read-only transaction cost for every TM (Section 6).")
+    Term.(const run $ m_arg)
+
+(* ---------------- rmr ---------------- *)
+
+let rmr_cmd =
+  let locks_arg =
+    Arg.(
+      value
+      & opt_all lock_conv Ptm_mutex.Mutex_registry.all
+      & info [ "lock" ] ~docv:"LOCK" ~doc:"Lock(s) to measure (repeatable).")
+  in
+  let ns_arg =
+    Arg.(
+      value
+      & opt_all int [ 2; 4; 8; 16 ]
+      & info [ "n" ] ~docv:"N" ~doc:"Process count(s) (repeatable).")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "rounds" ] ~docv:"R" ~doc:"Critical sections per process.")
+  in
+  let run locks ns rounds =
+    let rows = Ptm_bounds.Theorem9.sweep ~locks ~ns ~rounds () in
+    List.iter (fun r -> Fmt.pr "%a@." Ptm_bounds.Theorem9.pp_row r) rows
+  in
+  Cmd.v
+    (Cmd.info "rmr"
+       ~doc:"Measure mutex RMR totals in all three cost models (Theorem 9).")
+    Term.(const run $ locks_arg $ ns_arg $ rounds_arg)
+
+(* ---------------- workload ---------------- *)
+
+let workload_cmd =
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let nprocs_arg =
+    Arg.(value & opt int 3 & info [ "procs" ] ~docv:"N" ~doc:"Processes.")
+  in
+  let nobjs_arg =
+    Arg.(value & opt int 4 & info [ "objs" ] ~docv:"K" ~doc:"T-objects.")
+  in
+  let txs_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "txs" ] ~docv:"T" ~doc:"Transactions per process.")
+  in
+  let check_arg =
+    Arg.(
+      value
+      & opt (enum [ ("opacity", `Opacity); ("strict", `Strict) ]) `Opacity
+      & info [ "check" ] ~docv:"CRITERION" ~doc:"Consistency criterion.")
+  in
+  let run tm seed nprocs nobjs txs check =
+    let w =
+      Ptm_core.Workload.random ~seed ~nprocs ~nobjs ~txs_per_proc:txs
+        ~ops_per_tx:3 ()
+    in
+    let o =
+      Ptm_core.Runner.run tm ~retries:2
+        ~schedule:(Ptm_core.Runner.Random_sched seed) w
+    in
+    Fmt.pr "%a@." Ptm_core.History.pp o.Ptm_core.Runner.history;
+    Fmt.pr "commits %d, aborted attempts %d@." o.Ptm_core.Runner.commits
+      o.Ptm_core.Runner.aborts;
+    let verdict =
+      match check with
+      | `Opacity -> Ptm_core.Checker.opaque o.Ptm_core.Runner.history
+      | `Strict ->
+          Ptm_core.Checker.strictly_serializable o.Ptm_core.Runner.history
+    in
+    Fmt.pr "%a@." Ptm_core.Checker.pp_verdict verdict;
+    match verdict with
+    | Ptm_core.Checker.Serializable _ -> ()
+    | _ -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Run a random workload on a TM and check the recorded history.")
+    Term.(
+      const run $ tm_arg $ seed_arg $ nprocs_arg $ nobjs_arg $ txs_arg
+      $ check_arg)
+
+(* ---------------- trace ---------------- *)
+
+let trace_cmd =
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let timeline_arg =
+    Arg.(
+      value & flag
+      & info [ "timeline" ]
+          ~doc:"Render a per-process ASCII timeline instead of the event log.")
+  in
+  let run tm seed timeline =
+    let w =
+      Ptm_core.Workload.random ~seed ~nprocs:2 ~nobjs:2 ~txs_per_proc:1
+        ~ops_per_tx:2 ()
+    in
+    let o =
+      Ptm_core.Runner.run tm ~schedule:(Ptm_core.Runner.Random_sched seed) w
+    in
+    let trace = Ptm_machine.Machine.trace o.Ptm_core.Runner.machine in
+    if timeline then Ptm_core.Timeline.pp Fmt.stdout trace
+    else
+      Ptm_machine.Trace.iter trace (fun entry ->
+          Fmt.pr "%a@."
+            (Ptm_machine.Trace.pp_entry ~pp_note:Ptm_core.History.pp_note)
+            entry)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Dump the full annotated execution (every primitive application and \
+          t-operation boundary) of a small workload.")
+    Term.(const run $ tm_arg $ seed_arg $ timeline_arg)
+
+(* ---------------- explore ---------------- *)
+
+let explore_cmd =
+  let lock_arg =
+    Arg.(
+      value
+      & opt lock_conv (module Ptm_mutex.Tas : Ptm_mutex.Mutex_intf.S)
+      & info [ "lock" ] ~docv:"LOCK" ~doc:"Lock to model-check.")
+  in
+  let steps_arg =
+    Arg.(
+      value & opt int 22
+      & info [ "max-steps" ] ~docv:"D" ~doc:"Per-path step bound.")
+  in
+  let run (module L : Ptm_mutex.Mutex_intf.S) max_steps =
+    let mk () =
+      let m = Ptm_machine.Machine.create ~nprocs:2 in
+      let lock = L.create m ~nprocs:2 in
+      let c = Ptm_machine.Machine.alloc m ~name:"c" (Ptm_machine.Value.Int 0) in
+      let occupancy = ref 0 in
+      for pid = 0 to 1 do
+        Ptm_machine.Machine.spawn m pid (fun () ->
+            L.enter lock ~pid;
+            incr occupancy;
+            assert (!occupancy = 1);
+            let v = Ptm_machine.Proc.read_int c in
+            Ptm_machine.Proc.write c (Ptm_machine.Value.Int (v + 1));
+            assert (!occupancy = 1);
+            decr occupancy;
+            L.exit_cs lock ~pid)
+      done;
+      m
+    in
+    let s =
+      Ptm_machine.Explore.run ~mk ~max_steps ~max_paths:4_000_000 ()
+    in
+    Fmt.pr "%s: %a@." L.name Ptm_machine.Explore.pp_stats s;
+    if s.Ptm_machine.Explore.violations > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Exhaustively model-check a lock's mutual exclusion over every \
+          2-process schedule up to a step bound.")
+    Term.(const run $ lock_arg $ steps_arg)
+
+(* ---------------- props ---------------- *)
+
+let props_cmd =
+  let run () =
+    Fmt.pr "%-14s %7s %9s %10s %11s %12s %9s@." "tm" "opaque" "weak-DAP"
+      "invisible" "weak-invis" "progressive" "strongly";
+    List.iter
+      (fun (module T : Ptm_core.Tm_intf.S) ->
+        let p = T.props in
+        let b x = if x then "yes" else "no" in
+        Fmt.pr "%-14s %7s %9s %10s %11s %12s %9s@." T.name
+          (b p.Ptm_core.Tm_intf.opaque)
+          (b p.Ptm_core.Tm_intf.weak_dap)
+          (b p.Ptm_core.Tm_intf.invisible_reads)
+          (b p.Ptm_core.Tm_intf.weak_invisible_reads)
+          (b p.Ptm_core.Tm_intf.progressive)
+          (b p.Ptm_core.Tm_intf.strongly_progressive))
+      (Ptm_tms.Registry.all @ Ptm_tms.Registry.single_object);
+    Fmt.pr
+      "@.(claims are enforced by the test suite, not merely declared: run \
+       `dune runtest`)@."
+  in
+  Cmd.v
+    (Cmd.info "props"
+       ~doc:"List every TM with its claimed properties (paper, Section 3).")
+    Term.(const run $ const ())
+
+let () =
+  let doc =
+    "Progressive Transactional Memory in Time and Space — experiment runner"
+  in
+  let info = Cmd.info "ptm" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            lemma2_cmd; thm3_cmd; tightness_cmd; rmr_cmd; workload_cmd;
+            trace_cmd; props_cmd; explore_cmd;
+          ]))

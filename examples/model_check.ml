@@ -1,0 +1,75 @@
+(* Bounded exhaustive model checking with the simulated machine: verify a
+   lock over EVERY 2-process schedule, and watch the explorer pinpoint a
+   razor-thin race that random testing can easily miss.
+
+     dune exec examples/model_check.exe
+*)
+
+open Ptm_machine
+open Ptm_mutex
+
+(* A lock with a classic bug: test and set as two separate steps. *)
+module Racy_lock : Mutex_intf.S = struct
+  let name = "racy(test-then-set)"
+
+  type t = { flag : Memory.addr }
+
+  let create machine ~nprocs:_ =
+    { flag = Machine.alloc machine ~name:"racy.flag" (Value.Bool false) }
+
+  let enter t ~pid:_ =
+    let rec go () =
+      if Proc.read_bool t.flag then go ()
+      else Proc.write t.flag (Value.Bool true)
+    in
+    go ()
+
+  let exit_cs t ~pid:_ = Proc.write t.flag (Value.Bool false)
+end
+
+let mk (module L : Mutex_intf.S) () =
+  let m = Machine.create ~nprocs:2 in
+  let lock = L.create m ~nprocs:2 in
+  let c = Machine.alloc m ~name:"c" (Value.Int 0) in
+  let occupancy = ref 0 in
+  for pid = 0 to 1 do
+    Machine.spawn m pid (fun () ->
+        L.enter lock ~pid;
+        incr occupancy;
+        assert (!occupancy = 1);
+        let v = Proc.read_int c in
+        Proc.write c (Value.Int (v + 1));
+        assert (!occupancy = 1);
+        decr occupancy;
+        L.exit_cs lock ~pid)
+  done;
+  m
+
+let check name lock =
+  let s = Explore.run ~mk:(mk lock) ~max_steps:22 ~max_paths:2_000_000 () in
+  Fmt.pr "%-22s %a@." name Explore.pp_stats s;
+  s
+
+let () =
+  Fmt.pr
+    "model checking mutual exclusion over all 2-process interleavings@.@.";
+  let ok = check "tas" (module Tas : Mutex_intf.S) in
+  let _ = check "ticket" (module Ticket : Mutex_intf.S) in
+  let _ = check "clh" (module Clh : Mutex_intf.S) in
+  let racy = check Racy_lock.name (module Racy_lock : Mutex_intf.S) in
+  assert (ok.Explore.violations = 0);
+  assert (racy.Explore.violations > 0);
+  (match racy.Explore.first_violation with
+  | Some w ->
+      Fmt.pr
+        "@.the racy lock's bug, found exhaustively — minimal witness \
+         schedule: [%a]@."
+        Fmt.(list ~sep:(any ";") int)
+        w;
+      Fmt.pr
+        "(both processes read the flag as free before either sets it, and@.\
+         both enter the critical section)@."
+  | None -> assert false);
+  Fmt.pr
+    "@.every shipped lock passes: the same harness runs in the test suite@.\
+     over all locks and all TMs (opacity over every interleaving).@."

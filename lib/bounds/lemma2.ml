@@ -1,0 +1,140 @@
+open Ptm_machine
+
+type outcome = Returned_new | Returned of int | Aborted | Blocked
+
+exception Construction_blocked
+
+type report = {
+  tm : string;
+  i : int;
+  nv : int;
+  outcome : outcome;
+  outcome_writer_first : outcome;
+  phi_read_prefix : int list;
+  prefix_indistinguishable : bool;
+}
+
+let pp_outcome ppf = function
+  | Returned_new -> Fmt.string ppf "returned nv"
+  | Returned v -> Fmt.pf ppf "returned %d" v
+  | Aborted -> Fmt.string ppf "aborted"
+  | Blocked -> Fmt.string ppf "blocked (premise violation)"
+
+let pp_report ppf r =
+  Fmt.pf ppf "lemma2 %s i=%d: fig1b %a; fig1a %a; prefix %s" r.tm r.i
+    pp_outcome r.outcome pp_outcome r.outcome_writer_first
+    (if r.prefix_indistinguishable then "indistinguishable"
+     else "distinguishable")
+
+let solo_budget = 100_000
+
+let solo machine pid =
+  try Sched.solo ~max_steps:solo_budget machine pid
+  with Sched.Out_of_steps -> raise Construction_blocked
+
+let nv = 42
+
+(* One execution. [writer_first] selects Figure 1a (rho before pi) versus
+   Figure 1b (pi before rho). Returns the i-th read's outcome, the prefix
+   read values, and T_phi's memory events during the prefix reads. *)
+let exec (module T : Ptm_core.Tm_intf.S) ~i ~writer_first =
+  let module R = Ptm_core.Runner.Make (T) in
+  let machine = Machine.create ~nprocs:2 in
+  let ctx = R.init machine ~nobjs:i in
+  let prefix = ref [] in
+  let result = ref Aborted in
+  Machine.spawn machine 0 (fun () ->
+      let tx = R.begin_tx ctx ~pid:0 in
+      let rec loop j =
+        if j < i then
+          match R.read ctx tx j with
+          | Ok v ->
+              if j < i - 1 then prefix := v :: !prefix
+              else result := (if v = nv then Returned_new else Returned v);
+              Proc.pause ();
+              loop (j + 1)
+          | Error `Abort -> if j = i - 1 then result := Aborted
+      in
+      loop 0);
+  let run_writer () =
+    Machine.spawn machine 1 (fun () ->
+        let tx = R.begin_tx ctx ~pid:1 in
+        match R.write ctx tx (i - 1) nv with
+        | Error `Abort -> failwith "Lemma2: solo writer aborted on write"
+        | Ok () -> (
+            match R.commit ctx tx with
+            | Error `Abort -> failwith "Lemma2: solo writer aborted at commit"
+            | Ok () -> ()));
+    match solo machine 1 with
+    | `Done -> ()
+    | `Paused -> failwith "Lemma2: unexpected pause in T_i"
+  in
+  let run_prefix () =
+    for _ = 1 to i - 1 do
+      match solo machine 0 with
+      | `Paused -> ()
+      | `Done -> failwith "Lemma2: T_phi terminated prematurely"
+    done
+  in
+  if writer_first then begin
+    run_writer ();
+    run_prefix ()
+  end
+  else begin
+    run_prefix ();
+    run_writer ()
+  end;
+  (* alpha^i: T_phi's i-th read *)
+  ignore (solo machine 0 : [ `Done | `Paused ]);
+  Machine.check_crashes machine;
+  let phi_prefix_events =
+    (* T_phi's memory events during its first i-1 reads: everything it did
+       before the events of its i-th read; identified by its own step
+       positions, which are schedule-independent. *)
+    List.filter_map
+      (fun (s : Ptm_core.History.span) ->
+        match s.Ptm_core.History.s_op with
+        | Ptm_core.History.Read x when s.Ptm_core.History.s_tx = 0 && x < i - 1
+          ->
+            Some
+              (List.map
+                 (fun (e : Trace.mem_event) ->
+                   (e.Trace.addr, e.Trace.prim, e.Trace.resp))
+                 s.Ptm_core.History.s_events)
+        | _ -> None)
+      (Ptm_core.History.spans (Machine.trace machine))
+  in
+  (!result, List.rev !prefix, List.concat phi_prefix_events)
+
+let run (module T : Ptm_core.Tm_intf.S) ~i =
+  if i < 1 then invalid_arg "Lemma2.run: i must be >= 1";
+  let attempt ~writer_first =
+    try `Ok (exec (module T) ~i ~writer_first)
+    with Construction_blocked -> `Blocked
+  in
+  match (attempt ~writer_first:false, attempt ~writer_first:true) with
+  | `Blocked, _ | _, `Blocked ->
+      {
+        tm = T.name;
+        i;
+        nv;
+        outcome = Blocked;
+        outcome_writer_first = Blocked;
+        phi_read_prefix = [];
+        prefix_indistinguishable = false;
+      }
+  | `Ok (out_b, prefix_b, events_b), `Ok (out_a, _, events_a) ->
+      {
+        tm = T.name;
+        i;
+        nv;
+        outcome = out_b;
+        outcome_writer_first = out_a;
+        phi_read_prefix = prefix_b;
+        prefix_indistinguishable =
+          List.length events_a = List.length events_b
+          && List.for_all2
+               (fun (a1, p1, r1) (a2, p2, r2) ->
+                 a1 = a2 && Primitive.equal p1 p2 && Value.equal r1 r2)
+               events_a events_b;
+      }

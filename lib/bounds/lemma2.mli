@@ -1,0 +1,47 @@
+(** Executable form of Lemma 2 / Figure 1 of the paper.
+
+    For a TM [M] and index [i], construct both executions of Figure 1:
+    - Figure 1b: [π^{i-1} · ρ^i · α^i] — read-only [T_φ] performs [i-1]
+      t-reads of [X_1 … X_{i-1}] step contention-free, then [T_i] writes
+      [nv ≠ v] to [X_i] and commits, then [T_φ] performs its i-th read;
+    - Figure 1a: [ρ^i · π^{i-1} · α^i] — the same with the writer first,
+      where the i-th read must return [nv] by strict serializability alone.
+
+    For any strictly serializable weak-DAP TM with sequential TM-progress
+    the two executions are indistinguishable to [T_φ] (Lemma 1: the
+    disjoint-access transactions cannot contend on a base object), which is
+    checkable: [T_φ]'s event sequence during [π^{i-1}] must be identical in
+    both runs — and then the Figure 1b read must also return [nv]. TMs
+    violating a premise break the conclusion observably (TL2's global clock
+    makes the read abort) or break indistinguishability itself. *)
+
+type outcome =
+  | Returned_new  (** the i-th read returned [nv] — the lemma's conclusion *)
+  | Returned of int  (** returned some other value *)
+  | Aborted  (** the i-th read aborted *)
+  | Blocked
+      (** the construction could not be driven: a step contention-free
+          fragment failed to terminate (e.g. the solo writer spins on a
+          global lock held by the paused reader — Sgl violates the
+          interval-contention-free liveness premise) *)
+
+type report = {
+  tm : string;
+  i : int;
+  nv : int;
+  outcome : outcome;  (** Figure 1b: the lemma's claimed execution *)
+  outcome_writer_first : outcome;  (** Figure 1a: the reference execution *)
+  phi_read_prefix : int list;  (** values returned by the first i-1 reads *)
+  prefix_indistinguishable : bool;
+      (** whether [T_φ]'s event sequence during [π^{i-1}] is identical in
+          the two executions — the materialized indistinguishability
+          argument (false when either run is blocked) *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val run : Ptm_core.Tm_intf.tm -> i:int -> report
+(** Build and execute both Lemma 2 executions for the given [i >= 1].
+    Raises [Invalid_argument] if [i < 1], and [Failure] if the solo writer
+    aborts, contradicting sequential TM-progress. A blocked fragment yields
+    [Blocked]. *)

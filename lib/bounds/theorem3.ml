@@ -1,0 +1,244 @@
+open Ptm_machine
+
+type claim_violation = Returned_new_value of int * int
+
+exception Construction_blocked
+
+let solo_budget = 200_000
+
+let solo machine pid =
+  try Sched.solo ~max_steps:solo_budget machine pid
+  with Sched.Out_of_steps -> raise Construction_blocked
+
+type point = {
+  i : int;
+  steps_max : int;
+  distinct_max : int;
+  steps_clean : int;
+}
+
+type report = {
+  tm : string;
+  m : int;
+  points : point list;
+  total_steps_max : int;
+  quadratic_bound : int;
+  last_read_distinct : int;
+  space_bound : int;
+  violations : claim_violation list;
+  lemma1_contention : bool;
+      (* whether the disjoint-access writers ever contended on a base
+         object: impossible under weak DAP (Lemma 1), observable for
+         global-clock TMs *)
+  blocked : bool;
+}
+
+let nv = 42
+
+(* One execution E^i_ℓ (or E^i when ℓ = None). Returns the number of steps
+   and distinct base objects T_φ used during its i-th read (1-based i), plus
+   whether a tryC was driven and measured too, and the value the read
+   returned. *)
+type case = {
+  c_steps : int;
+  c_distinct : int;
+  c_result : [ `Val of int | `Aborted ];
+  c_writers_contend : bool;
+      (* did the disjoint-access writers beta^l and rho^i contend on a base
+         object? Lemma 1 forbids it for weak-DAP TMs *)
+}
+
+let run_case (module T : Ptm_core.Tm_intf.S) ~m ~i ~ell ~with_commit =
+  let module R = Ptm_core.Runner.Make (T) in
+  let machine = Machine.create ~nprocs:3 in
+  let ctx = R.init machine ~nobjs:m in
+  let results = Array.make (m + 1) `Pending in
+  (* T_phi: m reads with a pause after each, then tryC. *)
+  Machine.spawn machine 0 (fun () ->
+      let tx = R.begin_tx ctx ~pid:0 in
+      let rec loop j =
+        if j < m then
+          match R.read ctx tx j with
+          | Ok v ->
+              results.(j) <- `Val v;
+              Proc.pause ();
+              loop (j + 1)
+          | Error `Abort -> results.(j) <- `Aborted
+        else
+          match R.commit ctx tx with
+          | Ok () -> results.(m) <- `Val 0
+          | Error `Abort -> results.(m) <- `Aborted
+      in
+      loop 0);
+  (* pi^{i-1} *)
+  for _ = 1 to i - 1 do
+    match solo machine 0 with
+    | `Paused -> ()
+    | `Done -> failwith "Theorem3: T_phi terminated prematurely"
+  done;
+  let solo_writer pid x =
+    Machine.spawn machine pid (fun () ->
+        let tx = R.begin_tx ctx ~pid in
+        (* An abort here means the TM escapes the construction itself — e.g.
+           visible read locks block the solo writer. Treated as a premise
+           violation, not an error. *)
+        match R.write ctx tx x nv with
+        | Error `Abort -> raise Construction_blocked
+        | Ok () -> (
+            match R.commit ctx tx with
+            | Error `Abort -> raise Construction_blocked
+            | Ok () -> ()))
+  in
+  (* beta^ell *)
+  (match ell with
+  | Some l ->
+      solo_writer 1 l;
+      ignore (solo machine 1 : [ `Done | `Paused ])
+  | None -> ());
+  (* rho^i *)
+  solo_writer 2 (i - 1);
+  ignore (solo machine 2 : [ `Done | `Paused ]);
+  (* alpha^i: T_phi's i-th read (and optionally its tryC), measured. *)
+  let steps0 = Machine.steps_of machine 0 in
+  let mark = Trace.length (Machine.trace machine) in
+  ignore (solo machine 0 : [ `Done | `Paused ]);
+  if with_commit then ignore (solo machine 0 : [ `Done | `Paused ]);
+  Machine.check_crashes machine;
+  let steps = Machine.steps_of machine 0 - steps0 in
+  let distinct =
+    let seen = Hashtbl.create 16 in
+    List.iteri
+      (fun idx entry ->
+        match entry with
+        | Trace.Mem e when idx >= mark && e.Trace.pid = 0 ->
+            Hashtbl.replace seen e.Trace.addr ()
+        | _ -> ())
+      (Trace.entries (Machine.trace machine));
+    Hashtbl.length seen
+  in
+  let result =
+    match results.(i - 1) with
+    | `Val v -> `Val v
+    | `Aborted -> `Aborted
+    | `Pending -> failwith "Theorem3: i-th read did not respond"
+  in
+  (* Lemma 1 check: T_ell (pid 1) and T_i (pid 2) have disjoint data sets, so
+     under weak DAP they must not contend on any base object. *)
+  let writers_contend =
+    match ell with
+    | None -> false
+    | Some _ ->
+        let accesses pid =
+          List.filter_map
+            (fun entry ->
+              match entry with
+              | Trace.Mem e when e.Trace.pid = pid ->
+                  Some (e.Trace.addr, Primitive.is_nontrivial e.Trace.prim)
+              | _ -> None)
+            (Trace.entries (Machine.trace machine))
+        in
+        let a1 = accesses 1 and a2 = accesses 2 in
+        List.exists
+          (fun (addr, nt1) ->
+            List.exists (fun (addr2, nt2) -> addr = addr2 && (nt1 || nt2)) a2)
+          a1
+  in
+  {
+    c_steps = steps;
+    c_distinct = distinct;
+    c_result = result;
+    c_writers_contend = writers_contend;
+  }
+
+let blocked_report name m =
+  {
+    tm = name;
+    m;
+    points = [];
+    total_steps_max = 0;
+    quadratic_bound = m * (m - 1) / 2;
+    last_read_distinct = 0;
+    space_bound = m - 1;
+    violations = [];
+    lemma1_contention = false;
+    blocked = true;
+  }
+
+let run (module T : Ptm_core.Tm_intf.S) ~m =
+  if m < 2 then invalid_arg "Theorem3.run: m must be >= 2";
+  let violations = ref [] in
+  let lemma1_contention = ref false in
+  let case ~i ~ell ~with_commit =
+    let c = run_case (module T) ~m ~i ~ell ~with_commit in
+    (match (c.c_result, ell) with
+    | `Val v, Some l when v = nv ->
+        violations := Returned_new_value (i, l) :: !violations
+    | _ -> ());
+    if c.c_writers_contend then lemma1_contention := true;
+    c
+  in
+  try
+  let points =
+    List.init (m - 1) (fun k ->
+        let i = k + 2 in
+        let clean = case ~i ~ell:None ~with_commit:false in
+        let betas =
+          List.init (i - 1) (fun l -> case ~i ~ell:(Some l) ~with_commit:false)
+        in
+        let all = clean :: betas in
+        {
+          i;
+          steps_max = List.fold_left (fun a c -> max a c.c_steps) 0 all;
+          distinct_max = List.fold_left (fun a c -> max a c.c_distinct) 0 all;
+          steps_clean = clean.c_steps;
+        })
+  in
+  (* Part 2: the m-th read together with tryC, worst case over ℓ. *)
+  let last_read_distinct =
+    let cases =
+      case ~i:m ~ell:None ~with_commit:true
+      :: List.init (m - 1) (fun l ->
+             case ~i:m ~ell:(Some l) ~with_commit:true)
+    in
+    List.fold_left (fun a c -> max a c.c_distinct) 0 cases
+  in
+  {
+    tm = T.name;
+    m;
+    points;
+    total_steps_max = List.fold_left (fun a p -> a + p.steps_max) 0 points;
+    quadratic_bound = m * (m - 1) / 2;
+    last_read_distinct;
+    space_bound = m - 1;
+    violations = List.rev !violations;
+    lemma1_contention = !lemma1_contention;
+    blocked = false;
+  }
+  with Construction_blocked -> blocked_report T.name m
+
+let meets_step_bound r = r.total_steps_max >= r.quadratic_bound
+let meets_space_bound r = r.last_read_distinct >= r.space_bound
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>theorem3 %s m=%d:@," r.tm r.m;
+  if r.blocked then Fmt.pf ppf "  construction blocked (premise violation)@,";
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "  read %2d: steps max %3d (clean %3d), distinct %3d@," p.i
+        p.steps_max p.steps_clean p.distinct_max)
+    r.points;
+  Fmt.pf ppf "  total steps %d vs bound m(m-1)/2 = %d (%s)@," r.total_steps_max
+    r.quadratic_bound
+    (if meets_step_bound r then "meets" else "escapes");
+  Fmt.pf ppf "  last read+tryC distinct %d vs bound m-1 = %d (%s)@,"
+    r.last_read_distinct r.space_bound
+    (if meets_space_bound r then "meets" else "escapes");
+  (match r.violations with
+  | [] -> ()
+  | vs ->
+      Fmt.pf ppf "  VIOLATIONS: %d executions returned nv (non-serializable)@,"
+        (List.length vs));
+  if r.lemma1_contention then
+    Fmt.pf ppf
+      "  note: the disjoint-access writers contended on a base object (not        weak DAP)@,";
+  Fmt.pf ppf "@]"

@@ -1,0 +1,60 @@
+(** Executable form of Theorem 3: the validation step-complexity lower bound
+    (part 1) and the last-read space lower bound (part 2).
+
+    For each [i <= m] and each [ℓ <= i-1] the driver builds the proof's
+    execution [E^i_ℓ = π^{i-1} · β^ℓ · ρ^i · α^i]:
+    - [π^{i-1}]: read-only [T_φ] reads [X_1 … X_{i-1}] step contention-free;
+    - [β^ℓ]: [T_ℓ] writes [nv] to [X_ℓ] and commits;
+    - [ρ^i]: [T_i] writes [nv] to [X_i] and commits;
+    - [α^i]: [T_φ] performs its i-th read (which, by Claim 4, must return
+      the initial value or abort — returning [nv] would be non-serializable).
+
+    It measures the number of steps and the number of distinct base objects
+    [T_φ] uses during [α^i] (and, for part 2, during the m-th read plus
+    [tryC]), taking the worst case over [ℓ] — the quantity the adversary of
+    the proof forces to be at least [i-1]. For TMs in the theorem's class
+    (weak DAP, weak invisible reads, sequential TM-progress, ICF liveness),
+    the total is Ω(m²) steps and the last read touches ≥ m-1 distinct base
+    objects; TL2/NOrec-style TMs escape by violating weak DAP. *)
+
+type claim_violation =
+  | Returned_new_value of int * int
+      (** [(i, ℓ)]: the i-th read returned [nv] in [E^i_ℓ] — a strict
+          serializability violation per Claim 4 *)
+
+type point = {
+  i : int;
+  steps_max : int;  (** worst case over ℓ (and the β-free execution) *)
+  distinct_max : int;
+  steps_clean : int;  (** in the β-free execution [π^{i-1}·ρ^i·α^i] *)
+}
+
+type report = {
+  tm : string;
+  m : int;
+  points : point list;  (** one per i in [2..m] *)
+  total_steps_max : int;  (** Σᵢ steps_max: compare against m(m-1)/2 *)
+  quadratic_bound : int;  (** m(m-1)/2 *)
+  last_read_distinct : int;  (** distinct base objects in m-th read + tryC *)
+  space_bound : int;  (** m-1 *)
+  violations : claim_violation list;
+  lemma1_contention : bool;
+      (** whether the two solo writers — which have disjoint data sets —
+          ever contended on a base object: Lemma 1 rules it out under weak
+          DAP, while global-clock/seqlock TMs exhibit it (the measured
+          premise violation) *)
+  blocked : bool;
+      (** the construction could not be driven step contention-free (a
+          premise violation, e.g. Sgl's reader parks holding the global
+          lock); all measurements are zero *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val run : Ptm_core.Tm_intf.tm -> m:int -> report
+
+val meets_step_bound : report -> bool
+(** [total_steps_max >= m(m-1)/2]. *)
+
+val meets_space_bound : report -> bool
+(** [last_read_distinct >= m-1]. *)

@@ -1,0 +1,70 @@
+open Ptm_machine
+
+type row = {
+  lock : string;
+  n : int;
+  acquisitions : int;
+  rmr : (Rmr.model * int) list;
+}
+
+let pp_row ppf r =
+  Fmt.pf ppf "%-22s n=%2d acq=%3d %a" r.lock r.n r.acquisitions
+    (Fmt.list ~sep:(Fmt.any " ") (fun ppf (m, c) ->
+         Fmt.pf ppf "%s=%d" (Rmr.model_name m) c))
+    r.rmr
+
+let sweep ~locks ~ns ~rounds ?(schedule = `Round_robin) () =
+  List.concat_map
+    (fun (module L : Ptm_mutex.Mutex_intf.S) ->
+      List.map
+        (fun n ->
+          let r = Ptm_mutex.Harness.run (module L) ~nprocs:n ~rounds ~schedule () in
+          {
+            lock = L.name;
+            n;
+            acquisitions = n * rounds;
+            rmr =
+              List.map
+                (fun (m, c) -> (m, c.Rmr.total))
+                r.Ptm_mutex.Harness.rmr;
+          })
+        ns)
+    locks
+
+let nlogn n = float_of_int n *. (log (float_of_int n) /. log 2.)
+
+type overhead = {
+  o_n : int;
+  o_passages : int;
+  tm_rmr : int;
+  handoff_rmr : int;
+  handoff_per_passage : float;
+}
+
+let tm_overhead (module T : Ptm_core.Tm_intf.S) ~n ~rounds
+    ?(schedule = `Round_robin) ~model () =
+  let module L = Ptm_mutex.Tm_mutex.Make (T) in
+  let r = Ptm_mutex.Harness.run (module L) ~nprocs:n ~rounds ~schedule () in
+  let machine = r.Ptm_mutex.Harness.machine in
+  let trace = Machine.trace machine in
+  (* Transaction spans attribute func()'s memory events to the TM. *)
+  let spans = Ptm_core.History.spans trace in
+  let in_tm_span (e : Trace.mem_event) =
+    List.exists
+      (fun (s : Ptm_core.History.span) ->
+        s.Ptm_core.History.s_pid = e.Trace.pid
+        && s.Ptm_core.History.s_start < e.Trace.seq
+        && e.Trace.seq < s.Ptm_core.History.s_end)
+      spans
+  in
+  let tm_rmr = ref 0 and handoff_rmr = ref 0 in
+  Rmr.iter model (Machine.memory machine) trace (fun e ->
+      if in_tm_span e then incr tm_rmr else incr handoff_rmr);
+  let passages = n * rounds in
+  {
+    o_n = n;
+    o_passages = passages;
+    tm_rmr = !tm_rmr;
+    handoff_rmr = !handoff_rmr;
+    handoff_per_passage = float_of_int !handoff_rmr /. float_of_int passages;
+  }

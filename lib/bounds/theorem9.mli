@@ -1,0 +1,51 @@
+(** Executable form of Section 5: the mutual-exclusion reduction (Algorithm
+    1, Theorem 7) and the RMR measurements behind Theorem 9.
+
+    {!sweep} measures total RMRs of a set of mutex implementations — the
+    Algorithm 1 reductions L(M) among them — as the number of processes
+    grows, in all three cost models, against the [n log n] reference curve.
+
+    {!tm_overhead} validates the Theorem 7 constant-overhead claim
+    experimentally: it splits L(M)'s RMRs into those incurred by TM
+    operations ([func()]'s steps, attributed via transaction spans) and
+    those incurred by the queue hand-off logic, and reports the hand-off
+    RMRs per passage — which must stay O(1) as n grows. *)
+
+open Ptm_machine
+
+type row = {
+  lock : string;
+  n : int;
+  acquisitions : int;
+  rmr : (Rmr.model * int) list;  (** total RMRs per model *)
+}
+
+val pp_row : Format.formatter -> row -> unit
+
+val sweep :
+  locks:Ptm_mutex.Mutex_intf.mutex list ->
+  ns:int list ->
+  rounds:int ->
+  ?schedule:[ `Round_robin | `Random of int ] ->
+  unit ->
+  row list
+
+val nlogn : int -> float
+(** The reference curve [n * log2 n]. *)
+
+type overhead = {
+  o_n : int;
+  o_passages : int;
+  tm_rmr : int;  (** RMRs inside TM operation spans *)
+  handoff_rmr : int;  (** RMRs of the Algorithm 1 hand-off logic *)
+  handoff_per_passage : float;
+}
+
+val tm_overhead :
+  (module Ptm_core.Tm_intf.S) ->
+  n:int ->
+  rounds:int ->
+  ?schedule:[ `Round_robin | `Random of int ] ->
+  model:Rmr.model ->
+  unit ->
+  overhead

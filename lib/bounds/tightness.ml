@@ -1,0 +1,50 @@
+open Ptm_machine
+
+type cost = {
+  tm : string;
+  m : int;
+  read_steps : int;
+  commit_steps : int;
+  total : int;
+  committed : bool;
+}
+
+let read_only_cost (module T : Ptm_core.Tm_intf.S) ~m =
+  let module R = Ptm_core.Runner.Make (T) in
+  let machine = Machine.create ~nprocs:1 in
+  let ctx = R.init machine ~nobjs:m in
+  let committed = ref false in
+  Machine.spawn machine 0 (fun () ->
+      let tx = R.begin_tx ctx ~pid:0 in
+      let rec loop j =
+        if j < m then
+          match R.read ctx tx j with
+          | Ok _ -> loop (j + 1)
+          | Error `Abort -> ()
+        else
+          match R.commit ctx tx with
+          | Ok () -> committed := true
+          | Error `Abort -> ()
+      in
+      loop 0);
+  (match Sched.solo machine 0 with
+  | `Done -> ()
+  | `Paused -> failwith "Tightness: unexpected pause");
+  Machine.check_crashes machine;
+  let trace = Machine.trace machine in
+  let tx_id = 0 in
+  let read_steps = Ptm_core.Invisible.read_steps trace ~tx:tx_id in
+  let total = Machine.steps_of machine 0 in
+  {
+    tm = T.name;
+    m;
+    read_steps;
+    commit_steps = total - read_steps;
+    total;
+    committed = !committed;
+  }
+
+let pp_cost ppf c =
+  Fmt.pf ppf "%-10s m=%3d reads=%5d commit=%4d total=%5d%s" c.tm c.m
+    c.read_steps c.commit_steps c.total
+    (if c.committed then "" else " (ABORTED)")

@@ -1,0 +1,21 @@
+(** Tightness of Theorem 3 (paper, Section 6): the quadratic validation cost
+    is inherent to the weak-DAP + invisible-reads class, and each escape
+    hatch gives it up for a different price.
+
+    {!read_only_cost} measures the total number of steps a solo (uncontended)
+    read-only transaction with [m] reads performs, including [tryC]:
+    incremental-validation TMs (DSTM-style) pay Θ(m²) even without any
+    contention, while TL2 (global clock), NOrec (global seqlock) and
+    visible-reads TMs pay O(m). *)
+
+type cost = {
+  tm : string;
+  m : int;
+  read_steps : int;  (** steps inside the m t-read operations *)
+  commit_steps : int;  (** steps inside tryC *)
+  total : int;
+  committed : bool;
+}
+
+val read_only_cost : Ptm_core.Tm_intf.tm -> m:int -> cost
+val pp_cost : Format.formatter -> cost -> unit

@@ -1,0 +1,368 @@
+type verdict =
+  | Serializable of int list
+  | Not_serializable of string
+  | Dont_know of string
+
+let pp_verdict ppf = function
+  | Serializable w ->
+      Fmt.pf ppf "serializable as [%a]" Fmt.(list ~sep:(any " ") int) w
+  | Not_serializable msg -> Fmt.pf ppf "NOT serializable: %s" msg
+  | Dont_know msg -> Fmt.pf ppf "inconclusive: %s" msg
+
+let is_ok = function Serializable _ -> true | _ -> false
+
+(* A transaction as seen by the search: [effective] tells whether its writes
+   take effect in the candidate serialization. *)
+type sem = {
+  sid : int;
+  ops : (History.op * History.res option) list;
+  effective : bool;
+  s_first : int;
+  s_last : int;
+  s_complete : bool;
+}
+
+let sem_of_txr ~effective (tx : History.txr) =
+  {
+    sid = tx.History.id;
+    ops = tx.History.ops;
+    effective;
+    s_first = tx.History.first;
+    s_last = tx.History.last;
+    s_complete = History.t_complete tx;
+  }
+
+let sem_precedes a b = a.s_complete && a.s_last < b.s_first
+
+(* Simulate one transaction against the committed state [state] (a map
+   object -> value). Returns true iff every responded operation is legal;
+   mutates [state] with the transaction's writes only when it is effective.
+   Reads that aborted or are pending impose no constraint. *)
+let simulate state s =
+  let buf = Hashtbl.create 4 in
+  let lookup x =
+    match Hashtbl.find_opt buf x with
+    | Some v -> v
+    | None -> (
+        match Hashtbl.find_opt state x with
+        | Some v -> v
+        | None -> Tm_intf.init_value)
+  in
+  let ok =
+    List.for_all
+      (fun (op, r) ->
+        match (op, r) with
+        | History.Read x, Some (History.RVal v) -> lookup x = v
+        | History.Write (x, v), Some History.ROk ->
+            Hashtbl.replace buf x v;
+            true
+        | _ -> true)
+      s.ops
+  in
+  if ok && s.effective then
+    Hashtbl.iter (fun x v -> Hashtbl.replace state x v) buf;
+  ok
+
+let state_key state =
+  List.sort compare (Hashtbl.fold (fun x v acc -> (x, v) :: acc) state [])
+
+(* Exact search: find a linear extension of the real-time order over [sems]
+   in which every transaction simulates legally. *)
+let dfs sems =
+  let n = List.length sems in
+  let arr = Array.of_list sems in
+  let preds = Array.make n [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && sem_precedes arr.(j) arr.(i) then preds.(i) <- j :: preds.(i)
+    done
+  done;
+  let failed : (int list * (int * int) list, unit) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let rec go remaining state acc =
+    if remaining = [] then Some (List.rev acc)
+    else
+      let key = (List.sort compare remaining, state_key state) in
+      if Hashtbl.mem failed key then None
+      else begin
+        let ready =
+          List.filter
+            (fun i ->
+              List.for_all (fun j -> not (List.mem j remaining)) preds.(i))
+            remaining
+        in
+        let rec try_each = function
+          | [] ->
+              Hashtbl.replace failed key ();
+              None
+          | i :: rest -> (
+              let state' = Hashtbl.copy state in
+              if simulate state' arr.(i) then
+                match
+                  go
+                    (List.filter (fun j -> j <> i) remaining)
+                    state'
+                    (arr.(i).sid :: acc)
+                with
+                | Some w -> Some w
+                | None -> try_each rest
+              else try_each rest)
+        in
+        try_each ready
+      end
+  in
+  go (List.init n Fun.id) (Hashtbl.create 8) []
+
+(* Fast path: order transactions by response time and simulate. *)
+let fast_path sems =
+  let ordered = List.sort (fun a b -> compare a.s_last b.s_last) sems in
+  let state = Hashtbl.create 8 in
+  if List.for_all (fun s -> simulate state s) ordered then
+    Some (List.map (fun s -> s.sid) ordered)
+  else None
+
+exception Inconclusive of string
+
+(* Serialize the effective (committed) transactions: fast path, then exact
+   search if small enough. *)
+let committed_order ~dfs_limit committed =
+  match fast_path committed with
+  | Some w -> w
+  | None ->
+      if List.length committed > dfs_limit then
+        raise
+          (Inconclusive
+             (Printf.sprintf
+                "fast path failed and %d committed transactions exceed the \
+                 search limit %d"
+                (List.length committed) dfs_limit))
+      else (
+        match dfs committed with
+        | Some w -> w
+        | None -> raise Exit (* definitively not serializable *))
+
+(* Opacity insertion pass: given the committed witness order, place every
+   non-effective transaction independently into some gap where its reads are
+   legal and real-time constraints hold. Non-effective transactions have no
+   side effects, so gaps are judged against prefix states of the committed
+   order only; mutual real-time order among them is preserved by processing
+   in start order and choosing minimal slots. *)
+let insert_aborted ~committed_arr ~prefix_states aborted =
+  let n = Array.length committed_arr in
+  let chosen : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let sorted = List.sort (fun a b -> compare a.s_first b.s_first) aborted in
+  let place a =
+    let lo = ref 0 and hi = ref n in
+    Array.iteri
+      (fun i c ->
+        if sem_precedes c a then lo := max !lo (i + 1);
+        if sem_precedes a c then hi := min !hi i)
+      committed_arr;
+    List.iter
+      (fun b ->
+        match Hashtbl.find_opt chosen b.sid with
+        | Some slot when sem_precedes b a -> lo := max !lo slot
+        | _ -> ())
+      sorted;
+    let rec scan k =
+      if k > !hi then None
+      else if simulate prefix_states.(k) a then Some k
+      else scan (k + 1)
+    in
+    match scan !lo with
+    | Some k ->
+        Hashtbl.replace chosen a.sid k;
+        true
+    | None -> false
+  in
+  if List.for_all place sorted then Some chosen else None
+
+let witness_with_insertions order chosen aborted =
+  (* interleave: at each gap k, the aborted transactions assigned slot k in
+     start order, then the k-th committed transaction. *)
+  let n = List.length order in
+  let at_slot k =
+    List.filter_map
+      (fun a ->
+        match Hashtbl.find_opt chosen a.sid with
+        | Some s when s = k -> Some a.sid
+        | _ -> None)
+      aborted
+  in
+  let rec build k rest acc =
+    let acc = acc @ at_slot k in
+    match rest with
+    | [] -> acc
+    | c :: rest -> build (k + 1) rest (acc @ [ c ])
+  in
+  ignore n;
+  build 0 order []
+
+(* Enumerate completions: live transactions whose last invoked operation is a
+   pending tryC may be committed or aborted; other live transactions are
+   aborted in every completion. *)
+let commit_pending (tx : History.txr) =
+  tx.History.status = History.Live
+  &&
+  match List.rev tx.History.ops with
+  | (History.Try_commit, None) :: _ -> true
+  | _ -> false
+
+let rec choices = function
+  | [] -> [ [] ]
+  | id :: rest ->
+      let cs = choices rest in
+      List.map (fun c -> id :: c) cs @ cs
+
+let completions (h : History.t) =
+  let pending = List.filter commit_pending h.History.txns in
+  let ids = List.map (fun tx -> tx.History.id) pending in
+  if List.length ids > 6 then None else Some (choices ids)
+
+let split_sems (h : History.t) chosen =
+  List.partition_map
+    (fun (tx : History.txr) ->
+      let committed =
+        tx.History.status = History.Committed || List.mem tx.History.id chosen
+      in
+      if committed then Left (sem_of_txr ~effective:true tx)
+      else Right (sem_of_txr ~effective:false tx))
+    h.History.txns
+
+let prefix_states committed_arr =
+  let n = Array.length committed_arr in
+  let states = Array.init (n + 1) (fun _ -> Hashtbl.create 8) in
+  let state = Hashtbl.create 8 in
+  states.(0) <- Hashtbl.copy state;
+  Array.iteri
+    (fun i c ->
+      ignore (simulate state c : bool);
+      states.(i + 1) <- Hashtbl.copy state)
+    committed_arr;
+  states
+
+let check_strict ~dfs_limit (h : History.t) =
+  match completions h with
+  | None -> Dont_know "too many commit-pending live transactions"
+  | Some cs -> (
+      let attempt chosen =
+        let committed, _ = split_sems h chosen in
+        match committed_order ~dfs_limit committed with
+        | w -> Some w
+        | exception Exit -> None
+      in
+      let inconclusive = ref None in
+      let result =
+        List.fold_left
+          (fun acc chosen ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                try attempt chosen
+                with Inconclusive msg ->
+                  inconclusive := Some msg;
+                  None))
+          None cs
+      in
+      match (result, !inconclusive) with
+      | Some w, _ -> Serializable w
+      | None, Some msg -> Dont_know msg
+      | None, None ->
+          Not_serializable "no legal serialization of committed transactions")
+
+let check_opaque ~dfs_limit (h : History.t) =
+  match completions h with
+  | None -> Dont_know "too many commit-pending live transactions"
+  | Some cs -> (
+      let attempt chosen =
+        let committed, aborted = split_sems h chosen in
+        match committed_order ~dfs_limit committed with
+        | exception Exit -> None
+        | order ->
+            let by_id =
+              List.map (fun s -> (s.sid, s)) committed
+            in
+            let committed_arr =
+              Array.of_list (List.map (fun id -> List.assoc id by_id) order)
+            in
+            let states = prefix_states committed_arr in
+            (match insert_aborted ~committed_arr ~prefix_states:states aborted with
+            | Some chosen_slots ->
+                Some (witness_with_insertions order chosen_slots aborted)
+            | None ->
+                (* the backbone may be the wrong one: full exact search *)
+                let all = committed @ aborted in
+                if List.length all > dfs_limit then
+                  raise
+                    (Inconclusive
+                       (Printf.sprintf
+                          "aborted-transaction insertion failed and %d \
+                           transactions exceed the search limit %d"
+                          (List.length all) dfs_limit))
+                else dfs all)
+      in
+      let inconclusive = ref None in
+      let result =
+        List.fold_left
+          (fun acc chosen ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                try attempt chosen
+                with Inconclusive msg ->
+                  inconclusive := Some msg;
+                  None))
+          None cs
+      in
+      match (result, !inconclusive) with
+      | Some w, _ -> Serializable w
+      | None, Some msg -> Dont_know msg
+      | None, None -> Not_serializable "no legal opaque serialization")
+
+let strictly_serializable ?(dfs_limit = 12) h = check_strict ~dfs_limit h
+let opaque ?(dfs_limit = 12) h = check_opaque ~dfs_limit h
+
+let opaque_prefix_closed ?(dfs_limit = 12) trace =
+  let entries = Ptm_machine.Trace.entries trace in
+  (* Opacity can only be broken by a new response, so prefixes are checked
+     at response boundaries (plus once at the very end for completeness). *)
+  let rec scan prefix_rev = function
+    | [] -> (
+        let h = History.of_entries (List.rev prefix_rev) in
+        match check_opaque ~dfs_limit h with
+        | Serializable w -> Serializable w
+        | v -> v)
+    | entry :: rest -> (
+        let prefix_rev = entry :: prefix_rev in
+        match entry with
+        | Ptm_machine.Trace.Note { note = History.Tx_res _ as note; seq; _ }
+          -> (
+            let h = History.of_entries (List.rev prefix_rev) in
+            match check_opaque ~dfs_limit h with
+            | Serializable _ -> scan prefix_rev rest
+            | Not_serializable msg ->
+                Not_serializable
+                  (Fmt.str "prefix up to %a (seq %d): %s" History.pp_note note
+                     seq msg)
+            | Dont_know msg -> Dont_know msg)
+        | _ -> scan prefix_rev rest)
+  in
+  scan [] entries
+
+let legal_order (h : History.t) order =
+  let state = Hashtbl.create 8 in
+  let rec go = function
+    | [] -> Ok ()
+    | id :: rest -> (
+        match History.find h id with
+        | exception Not_found ->
+            Error (Printf.sprintf "unknown transaction T%d" id)
+        | tx ->
+            let s =
+              sem_of_txr ~effective:(tx.History.status = History.Committed) tx
+            in
+            if simulate state s then go rest
+            else Error (Printf.sprintf "T%d reads illegally" id))
+  in
+  go order

@@ -1,0 +1,47 @@
+(** Checkers for the paper's TM-correctness criteria (Section 3).
+
+    {e Strict serializability}: there is a legal t-complete t-sequential
+    history [S] over the committed transactions of some completion of [H],
+    preserving [H]'s real-time order.
+
+    {e Opacity}: in addition, every transaction (including aborted and
+    incomplete ones) appears in [S] and observes a legal view; writes of
+    non-committed transactions are invisible.
+
+    Both checkers first try a polynomial fast path — serializing transactions
+    by response time, which certifies the common case — and fall back to an
+    exact memoized DFS over linear extensions of the real-time order for
+    small histories. Live transactions with a pending [tryC] are enumerated
+    both ways (committed or aborted), implementing "some completion of H". *)
+
+type verdict =
+  | Serializable of int list
+      (** witness: transaction ids in serialization order *)
+  | Not_serializable of string
+  | Dont_know of string
+      (** the exact search was skipped (history too large) *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val is_ok : verdict -> bool
+
+val strictly_serializable : ?dfs_limit:int -> History.t -> verdict
+(** [dfs_limit] (default 12) bounds the number of transactions the exact
+    search will consider; beyond it a failed fast path yields [Dont_know]. *)
+
+val opaque : ?dfs_limit:int -> History.t -> verdict
+
+val opaque_prefix_closed :
+  ?dfs_limit:int -> Ptm_machine.Trace.t -> verdict
+(** Real opacity in the sense of Guerraoui–Kapalka is {e prefix-closed}:
+    every prefix of the history must be (final-state) opaque, which rules
+    out observing a value written by a still-live transaction even when that
+    transaction later commits. This checker re-extracts the history at every
+    t-operation response boundary of the trace and checks each prefix with
+    {!opaque}; the returned witness is the final prefix's. On the first
+    non-opaque prefix it reports which response broke opacity. *)
+
+val legal_order : History.t -> int list -> (unit, string) result
+(** Check that the given total order of transaction ids is a legal
+    serialization of the history in the opacity sense (all listed
+    transactions simulated in order; non-committed writes invisible).
+    Usable as an independent witness validator. *)

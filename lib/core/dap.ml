@@ -1,0 +1,100 @@
+open Ptm_machine
+
+(* Union-find over t-objects used to compute connected components of the
+   conflict graph G(Ti,Tj,E). *)
+module Uf = struct
+  type t = (int, int) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+  let ensure t x = if not (Hashtbl.mem t x) then Hashtbl.replace t x x
+
+  let rec find t x =
+    ensure t x;
+    let p = Hashtbl.find t x in
+    if p = x then x
+    else begin
+      let r = find t p in
+      Hashtbl.replace t x r;
+      r
+    end
+
+  let union t x y =
+    let rx = find t x and ry = find t y in
+    if rx <> ry then Hashtbl.replace t rx ry
+end
+
+let disjoint_access (h : History.t) ti tj =
+  if ti.History.id = tj.History.id then false
+  else begin
+    let tau =
+      List.filter
+        (fun t ->
+          t.History.id = ti.History.id
+          || t.History.id = tj.History.id
+          || History.concurrent t ti || History.concurrent t tj)
+        h.History.txns
+    in
+    let uf = Uf.create () in
+    List.iter
+      (fun t ->
+        match History.dset t with
+        | [] -> ()
+        | x :: rest ->
+            Uf.ensure uf x;
+            List.iter (fun y -> Uf.union uf x y) rest)
+      tau;
+    let di = History.dset ti and dj = History.dset tj in
+    match (di, dj) with
+    | [], _ | _, [] -> true
+    | _ ->
+        not
+          (List.exists
+             (fun x -> List.exists (fun y -> Uf.find uf x = Uf.find uf y) dj)
+             di)
+  end
+
+let check (h : History.t) trace =
+  (* For each base object, collect (tx, nontrivial?) accesses. *)
+  let spans = History.spans trace in
+  let by_addr : (int, (int * bool) list) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (s : History.span) ->
+      List.iter
+        (fun (e : Trace.mem_event) ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_addr e.addr) in
+          Hashtbl.replace by_addr e.addr
+            ((s.History.s_tx, Primitive.is_nontrivial e.prim) :: prev))
+        s.History.s_events)
+    spans;
+  let violation = ref None in
+  Hashtbl.iter
+    (fun addr accesses ->
+      if !violation = None then begin
+        (* distinct transaction pairs contending on [addr] *)
+        let tbl = Hashtbl.create 8 in
+        List.iter
+          (fun (tx, nt) ->
+            let old = Option.value ~default:false (Hashtbl.find_opt tbl tx) in
+            Hashtbl.replace tbl tx (old || nt))
+          accesses;
+        let txs = Hashtbl.fold (fun tx nt acc -> (tx, nt) :: acc) tbl [] in
+        List.iter
+          (fun (t1, nt1) ->
+            List.iter
+              (fun (t2, nt2) ->
+                if t1 < t2 && (nt1 || nt2) && !violation = None then
+                  match (History.find h t1, History.find h t2) with
+                  | ti, tj ->
+                      if disjoint_access h ti tj then
+                        violation :=
+                          Some
+                            (Printf.sprintf
+                               "disjoint-access transactions T%d and T%d \
+                                contend on base object b%d"
+                               t1 t2 addr)
+                  | exception Not_found -> ())
+              txs)
+          txs
+      end)
+    by_addr;
+  match !violation with None -> Ok () | Some msg -> Error msg

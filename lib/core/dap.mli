@@ -1,0 +1,21 @@
+(** Weak disjoint-access parallelism checker (paper, Section 3).
+
+    Two transactions are {e disjoint-access} in [E] if there is no path
+    between their data sets in the conflict graph [G(Ti,Tj,E)] whose vertices
+    are the data sets of all transactions concurrent to [Ti] or [Tj] and
+    whose edges join items belonging to one transaction's data set.
+
+    Weak DAP allows transactions to contend on a base object only if they are
+    not disjoint-access (or share a data item). We check the observable
+    consequence (the paper's Lemma 1): if two transactions both {e access} a
+    common base object, with at least one nontrivial access, then they must
+    not be disjoint-access. This is a sound violation detector: any violation
+    it reports is a real weak-DAP violation witness. *)
+
+val disjoint_access : History.t -> History.txr -> History.txr -> bool
+(** Whether the two transactions are disjoint-access in the execution
+    underlying [h] (no path between their data sets in [G(Ti,Tj,E)]). *)
+
+val check : History.t -> Ptm_machine.Trace.t -> (unit, string) result
+(** Report a violation if two disjoint-access transactions contended on a
+    base object (both accessed it, at least one nontrivially). *)

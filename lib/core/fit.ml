@@ -1,0 +1,56 @@
+type fit = { shape : string; coeff : float; r2 : float }
+
+let fit_one g points =
+  if points = [] then invalid_arg "Fit.fit_one: no points";
+  let sgy, sgg =
+    List.fold_left
+      (fun (sgy, sgg) (x, y) ->
+        let gx = g x in
+        (sgy +. (gx *. y), sgg +. (gx *. gx)))
+      (0., 0.) points
+  in
+  let c = if sgg = 0. then 0. else sgy /. sgg in
+  let n = float_of_int (List.length points) in
+  let mean = List.fold_left (fun a (_, y) -> a +. y) 0. points /. n in
+  let ss_tot =
+    List.fold_left (fun a (_, y) -> a +. ((y -. mean) ** 2.)) 0. points
+  in
+  let ss_res =
+    List.fold_left
+      (fun a (x, y) -> a +. ((y -. (c *. g x)) ** 2.))
+      0. points
+  in
+  let r2 = if ss_tot = 0. then 1. else 1. -. (ss_res /. ss_tot) in
+  (c, r2)
+
+let best ~candidates points =
+  match candidates with
+  | [] -> invalid_arg "Fit.best: no candidates"
+  | _ ->
+      let fits =
+        List.map
+          (fun (shape, g) ->
+            let coeff, r2 = fit_one g points in
+            { shape; coeff; r2 })
+          candidates
+      in
+      List.fold_left (fun a b -> if b.r2 > a.r2 then b else a)
+        (List.hd fits) (List.tl fits)
+
+let log2 x = log x /. log 2.
+
+let shapes_m =
+  [
+    ("m^2", fun m -> m *. m);
+    ("m log m", fun m -> if m <= 1. then 0. else m *. log2 m);
+    ("m", fun m -> m);
+  ]
+
+let shapes_n =
+  [
+    ("n^2", fun n -> n *. n);
+    ("n log n", fun n -> if n <= 1. then 0. else n *. log2 n);
+    ("n", fun n -> n);
+  ]
+
+let pp ppf f = Fmt.pf ppf "%.3g*%s (R2=%.4f)" f.coeff f.shape f.r2

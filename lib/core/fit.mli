@@ -1,0 +1,32 @@
+(** Least-squares shape fitting for the experiment series.
+
+    The paper's bounds are asymptotic; the benches report measured series
+    (steps vs m, RMRs vs n). This module fits each series against candidate
+    growth shapes through the origin — y = c·g(x) — and selects the shape
+    with the best coefficient of determination, so EXPERIMENTS.md can say
+    "measured ≈ 0.5·m², R² = 0.9998" instead of eyeballing. *)
+
+type fit = {
+  shape : string;  (** e.g. "m^2", "m log m", "m" *)
+  coeff : float;  (** the fitted c in y = c·g(x) *)
+  r2 : float;  (** coefficient of determination *)
+}
+
+val fit_one : (float -> float) -> (float * float) list -> float * float
+(** [fit_one g points] returns [(c, r2)] for the single-parameter model
+    [y = c·g(x)] over the given [(x, y)] points. *)
+
+val best :
+  candidates:(string * (float -> float)) list ->
+  (float * float) list ->
+  fit
+(** The candidate with the highest r². Raises [Invalid_argument] on an empty
+    candidate or point list. *)
+
+val shapes_m : (string * (float -> float)) list
+(** Standard candidates for read-set scaling: "m^2", "m log m", "m". *)
+
+val shapes_n : (string * (float -> float)) list
+(** Standard candidates for process scaling: "n^2", "n log n", "n". *)
+
+val pp : Format.formatter -> fit -> unit

@@ -1,0 +1,251 @@
+open Ptm_machine
+
+type op = Read of int | Write of int * int | Try_commit
+
+type res = RVal of int | ROk | RCommit | RAbort
+
+type Trace.note +=
+  | Tx_inv of { pid : int; tx : int; op : op }
+  | Tx_res of { pid : int; tx : int; op : op; res : res }
+
+let pp_op ppf = function
+  | Read x -> Fmt.pf ppf "read(X%d)" x
+  | Write (x, v) -> Fmt.pf ppf "write(X%d,%d)" x v
+  | Try_commit -> Fmt.pf ppf "tryC"
+
+let pp_res ppf = function
+  | RVal v -> Fmt.pf ppf "%d" v
+  | ROk -> Fmt.pf ppf "ok"
+  | RCommit -> Fmt.pf ppf "C"
+  | RAbort -> Fmt.pf ppf "A"
+
+let pp_note ppf = function
+  | Tx_inv { pid; tx; op } -> Fmt.pf ppf "p%d T%d inv %a" pid tx pp_op op
+  | Tx_res { pid; tx; op; res } ->
+      Fmt.pf ppf "p%d T%d res %a -> %a" pid tx pp_op op pp_res res
+  | n -> Trace.pp_note_default ppf n
+
+type status = Committed | Aborted | Live
+
+type txr = {
+  id : int;
+  pid : int;
+  ops : (op * res option) list;
+  first : int;
+  last : int;
+  status : status;
+}
+
+type t = { txns : txr list; nobjs : int }
+
+(* Mutable accumulator used while scanning the trace. *)
+type acc = {
+  a_id : int;
+  a_pid : int;
+  mutable a_ops : (op * res option) list;  (* reversed *)
+  a_first : int;
+  mutable a_last : int;
+}
+
+let of_entries entries =
+  let table : (int, acc) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  let get ~pid ~tx ~seq =
+    match Hashtbl.find_opt table tx with
+    | Some a -> a
+    | None ->
+        let a =
+          { a_id = tx; a_pid = pid; a_ops = []; a_first = seq; a_last = seq }
+        in
+        Hashtbl.add table tx a;
+        order := tx :: !order;
+        a
+  in
+  List.iter
+    (fun entry ->
+      match entry with
+      | Trace.Mem _ -> ()
+      | Trace.Note { seq; pid; note } -> (
+          match note with
+          | Tx_inv { tx; op; _ } ->
+              let a = get ~pid ~tx ~seq in
+              a.a_ops <- (op, None) :: a.a_ops;
+              a.a_last <- seq
+          | Tx_res { tx; op; res; _ } -> (
+              let a = get ~pid ~tx ~seq in
+              a.a_last <- seq;
+              match a.a_ops with
+              | (op', None) :: rest when op' = op ->
+                  a.a_ops <- (op, Some res) :: rest
+              | _ ->
+                  invalid_arg
+                    "History.of_trace: response without matching invocation")
+          | _ -> ()))
+    entries;
+  let finish a =
+    let ops = List.rev a.a_ops in
+    let status =
+      let rec last_res = function
+        | [] -> Live
+        | (op, r) :: rest -> (
+            match last_res rest with
+            | (Committed | Aborted) as s -> s
+            | Live -> (
+                match (op, r) with
+                | _, Some RAbort -> Aborted
+                | Try_commit, Some RCommit -> Committed
+                | _ -> Live))
+      in
+      last_res ops
+    in
+    {
+      id = a.a_id;
+      pid = a.a_pid;
+      ops;
+      first = a.a_first;
+      last = a.a_last;
+      status;
+    }
+  in
+  let txns = List.rev_map (fun id -> finish (Hashtbl.find table id)) !order in
+  let nobjs =
+    List.fold_left
+      (fun m tx ->
+        List.fold_left
+          (fun m (op, _) ->
+            match op with
+            | Read x -> max m (x + 1)
+            | Write (x, _) -> max m (x + 1)
+            | Try_commit -> m)
+          m tx.ops)
+      0 txns
+  in
+  { txns; nobjs }
+
+let of_trace trace = of_entries (Trace.entries trace)
+
+let sort_uniq xs = List.sort_uniq compare xs
+
+let rset tx =
+  sort_uniq
+    (List.filter_map
+       (fun (op, _) -> match op with Read x -> Some x | _ -> None)
+       tx.ops)
+
+let wset tx =
+  sort_uniq
+    (List.filter_map
+       (fun (op, _) -> match op with Write (x, _) -> Some x | _ -> None)
+       tx.ops)
+
+let writes tx =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (op, r) ->
+      match (op, r) with
+      | Write (x, v), Some ROk -> Hashtbl.replace tbl x v
+      | _ -> ())
+    tx.ops;
+  List.sort compare (Hashtbl.fold (fun x v acc -> (x, v) :: acc) tbl [])
+
+let dset tx = sort_uniq (rset tx @ wset tx)
+let read_only tx = wset tx = []
+let updating tx = wset tx <> []
+let t_complete tx = match tx.status with Live -> false | _ -> true
+
+let precedes a b = t_complete a && a.last < b.first
+let concurrent a b = a.id <> b.id && (not (precedes a b)) && not (precedes b a)
+
+let conflict a b =
+  a.id <> b.id
+  &&
+  let da = dset a and db = dset b in
+  let wa = wset a and wb = wset b in
+  List.exists
+    (fun x -> List.mem x db && (List.mem x wa || List.mem x wb))
+    da
+
+let find t id = List.find (fun tx -> tx.id = id) t.txns
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type span = {
+  s_pid : int;
+  s_tx : int;
+  s_op : op;
+  s_start : int;
+  s_end : int;
+  s_events : Trace.mem_event list;
+}
+
+type open_span = {
+  o_pid : int;
+  o_tx : int;
+  o_op : op;
+  o_start : int;
+  mutable o_events : Trace.mem_event list;  (* reversed *)
+}
+
+let spans trace =
+  let open_by_pid : (int, open_span) Hashtbl.t = Hashtbl.create 8 in
+  let finished = ref [] in
+  let close o s_end =
+    finished :=
+      {
+        s_pid = o.o_pid;
+        s_tx = o.o_tx;
+        s_op = o.o_op;
+        s_start = o.o_start;
+        s_end;
+        s_events = List.rev o.o_events;
+      }
+      :: !finished
+  in
+  Trace.iter trace (fun entry ->
+      match entry with
+      | Trace.Mem e -> (
+          match Hashtbl.find_opt open_by_pid e.Trace.pid with
+          | Some o -> o.o_events <- e :: o.o_events
+          | None -> ())
+      | Trace.Note { seq; pid; note } -> (
+          match note with
+          | Tx_inv { tx; op; _ } ->
+              (match Hashtbl.find_opt open_by_pid pid with
+              | Some _ ->
+                  invalid_arg "History.spans: nested t-operations on one process"
+              | None -> ());
+              Hashtbl.replace open_by_pid pid
+                { o_pid = pid; o_tx = tx; o_op = op; o_start = seq; o_events = [] }
+          | Tx_res { tx; op; _ } -> (
+              match Hashtbl.find_opt open_by_pid pid with
+              | Some o when o.o_tx = tx && o.o_op = op ->
+                  Hashtbl.remove open_by_pid pid;
+                  close o seq
+              | _ ->
+                  invalid_arg "History.spans: response without open invocation")
+          | _ -> ()));
+  Hashtbl.iter (fun _ o -> close o max_int) open_by_pid;
+  List.sort (fun a b -> compare a.s_start b.s_start) !finished
+
+let tx_events trace id =
+  List.concat_map
+    (fun s -> if s.s_tx = id then s.s_events else [])
+    (spans trace)
+
+let pp_status ppf = function
+  | Committed -> Fmt.string ppf "C"
+  | Aborted -> Fmt.string ppf "A"
+  | Live -> Fmt.string ppf "live"
+
+let pp_txr ppf tx =
+  Fmt.pf ppf "T%d@@p%d[%a]: %a" tx.id tx.pid pp_status tx.status
+    (Fmt.list ~sep:Fmt.sp (fun ppf (op, r) ->
+         match r with
+         | None -> Fmt.pf ppf "%a?" pp_op op
+         | Some r -> Fmt.pf ppf "%a->%a" pp_op op pp_res r))
+    tx.ops
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_txr) t.txns

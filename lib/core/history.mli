@@ -1,0 +1,102 @@
+(** TM histories (paper, Section 2): the subsequence of an execution
+    consisting of invocation and response events of t-operations.
+
+    T-operation boundaries are recorded in the machine trace as free notes
+    ({!Tx_inv}/{!Tx_res}); this module reconstructs the history, the
+    per-transaction records (read set, write set, status, real-time
+    interval), and the attribution of memory events to t-operations
+    ({!spans}) used by the step-complexity, invisibility and DAP analyses. *)
+
+open Ptm_machine
+
+type op = Read of int | Write of int * int | Try_commit
+
+type res =
+  | RVal of int  (** value returned by a t-read *)
+  | ROk  (** response of a t-write *)
+  | RCommit
+  | RAbort
+
+type Trace.note +=
+  | Tx_inv of { pid : int; tx : int; op : op }
+  | Tx_res of { pid : int; tx : int; op : op; res : res }
+
+val pp_op : Format.formatter -> op -> unit
+val pp_res : Format.formatter -> res -> unit
+val pp_note : Format.formatter -> Trace.note -> unit
+
+type status = Committed | Aborted | Live
+
+type txr = {
+  id : int;
+  pid : int;
+  ops : (op * res option) list;
+      (** in invocation order; [None] response = pending *)
+  first : int;  (** seq of the first invocation note *)
+  last : int;  (** seq of the last note of the transaction *)
+  status : status;
+}
+
+type t = { txns : txr list; nobjs : int }
+
+val of_trace : Trace.t -> t
+(** Transactions appear in order of their first event. [nobjs] is inferred as
+    1 + the largest t-object index mentioned. *)
+
+val of_entries : Trace.entry list -> t
+(** As {!of_trace}, from an explicit entry list — used to extract the
+    history of a trace prefix (e.g. by the prefix-closed opacity checker). *)
+
+(** {2 Data sets} *)
+
+val rset : txr -> int list
+(** Distinct t-objects read (sorted). Reads that returned [RAbort] still
+    joined the read set (the operation was invoked on the item). *)
+
+val wset : txr -> int list
+(** Distinct t-objects written (sorted). *)
+
+val writes : txr -> (int * int) list
+(** Final value written per t-object (last write wins), sorted by object. *)
+
+val dset : txr -> int list
+val read_only : txr -> bool
+val updating : txr -> bool
+val t_complete : txr -> bool
+
+(** {2 Orders and conflicts} *)
+
+val precedes : txr -> txr -> bool
+(** Real-time order: [precedes a b] iff [a] is t-complete and ends before [b]
+    begins. *)
+
+val concurrent : txr -> txr -> bool
+
+val conflict : txr -> txr -> bool
+(** [a] and [b] conflict: some t-object is in both data sets and in at least
+    one write set (paper, Section 3). Irreflexive by convention. *)
+
+val find : t -> int -> txr
+(** Find a transaction by id. Raises [Not_found]. *)
+
+(** {2 Attribution of memory events to t-operations} *)
+
+type span = {
+  s_pid : int;
+  s_tx : int;
+  s_op : op;
+  s_start : int;
+  s_end : int;  (** [max_int] when the response is pending *)
+  s_events : Trace.mem_event list;  (** this process's events inside the span *)
+}
+
+val spans : Trace.t -> span list
+(** One span per t-operation invocation, in invocation order. Memory events
+    of a process occurring outside any of its spans are not attributed (there
+    are none for well-behaved TM implementations). *)
+
+val tx_events : Trace.t -> int -> Trace.mem_event list
+(** All memory events attributed to the given transaction id. *)
+
+val pp_txr : Format.formatter -> txr -> unit
+val pp : Format.formatter -> t -> unit

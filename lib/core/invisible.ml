@@ -1,0 +1,61 @@
+open Ptm_machine
+
+let nontrivial_in (s : History.span) =
+  List.exists (fun (e : Trace.mem_event) -> Primitive.is_nontrivial e.prim)
+    s.History.s_events
+
+let is_read_op = function History.Read _ -> true | _ -> false
+
+let check_strong (h : History.t) trace =
+  let spans = History.spans trace in
+  let offender =
+    List.find_opt
+      (fun (s : History.span) ->
+        match History.find h s.History.s_tx with
+        | tx -> History.read_only tx && nontrivial_in s
+        | exception Not_found -> false)
+      spans
+  in
+  match offender with
+  | None -> Ok ()
+  | Some s ->
+      Error
+        (Printf.sprintf
+           "read-only transaction T%d applied a nontrivial event"
+           s.History.s_tx)
+
+let check_weak (h : History.t) trace =
+  let spans = History.spans trace in
+  let isolated tx =
+    History.rset tx <> []
+    && List.for_all
+         (fun u -> not (History.concurrent tx u))
+         h.History.txns
+  in
+  let offender =
+    List.find_opt
+      (fun (s : History.span) ->
+        is_read_op s.History.s_op
+        && nontrivial_in s
+        &&
+        match History.find h s.History.s_tx with
+        | tx -> isolated tx
+        | exception Not_found -> false)
+      spans
+  in
+  match offender with
+  | None -> Ok ()
+  | Some s ->
+      Error
+        (Printf.sprintf
+           "t-read of non-concurrent transaction T%d applied a nontrivial \
+            event"
+           s.History.s_tx)
+
+let read_steps trace ~tx =
+  List.fold_left
+    (fun acc (s : History.span) ->
+      if s.History.s_tx = tx && is_read_op s.History.s_op then
+        acc + List.length s.History.s_events
+      else acc)
+    0 (History.spans trace)

@@ -1,0 +1,15 @@
+(** Invisible-reads checkers (paper, Section 3).
+
+    {e (Strong) invisible reads}: for every read-only transaction, its
+    execution contains no nontrivial events.
+
+    {e Weak invisible reads} (introduced by the paper): for every transaction
+    [T] with a non-empty read set that is {e not concurrent with any other
+    transaction}, no t-read operation of [T] applies a nontrivial event. *)
+
+val check_strong : History.t -> Ptm_machine.Trace.t -> (unit, string) result
+val check_weak : History.t -> Ptm_machine.Trace.t -> (unit, string) result
+
+val read_steps : Ptm_machine.Trace.t -> tx:int -> int
+(** Total number of memory events attributed to t-read operations of the
+    given transaction. *)

@@ -1,0 +1,105 @@
+type report = (unit, string) result
+
+let t_sequential (h : History.t) =
+  let rec pairwise = function
+    | [] -> true
+    | tx :: rest ->
+        List.for_all (fun u -> not (History.concurrent tx u)) rest
+        && pairwise rest
+  in
+  pairwise h.History.txns
+
+let check_sequential (h : History.t) =
+  if not (t_sequential h) then Ok ()
+  else
+    match
+      List.find_opt
+        (fun tx -> tx.History.status = History.Aborted)
+        h.History.txns
+    with
+    | None -> Ok ()
+    | Some tx ->
+        Error
+          (Printf.sprintf
+             "T%d aborted although the history is t-sequential" tx.History.id)
+
+let check_progressive (h : History.t) =
+  let offenders =
+    List.filter
+      (fun tx ->
+        tx.History.status = History.Aborted
+        && not
+             (List.exists
+                (fun u -> History.concurrent tx u && History.conflict tx u)
+                h.History.txns))
+      h.History.txns
+  in
+  match offenders with
+  | [] -> Ok ()
+  | tx :: _ ->
+      Error
+        (Printf.sprintf
+           "T%d aborted without a concurrent conflicting transaction"
+           tx.History.id)
+
+(* Connected components of the conflict relation, by union-find over
+   transaction indices. *)
+let conflict_components (h : History.t) =
+  let txns = Array.of_list h.History.txns in
+  let n = Array.length txns in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if History.conflict txns.(i) txns.(j) then union i j
+    done
+  done;
+  let groups = Hashtbl.create 8 in
+  for i = n - 1 downto 0 do
+    let r = find i in
+    let existing = Option.value ~default:[] (Hashtbl.find_opt groups r) in
+    Hashtbl.replace groups r (txns.(i) :: existing)
+  done;
+  Hashtbl.fold (fun _ g acc -> g :: acc) groups []
+
+let conflict_objects a b =
+  if a.History.id = b.History.id then []
+  else
+    let db = History.dset b in
+    let wa = History.wset a and wb = History.wset b in
+    List.filter
+      (fun x -> List.mem x db && (List.mem x wa || List.mem x wb))
+      (History.dset a)
+
+let cobj (h : History.t) q =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun tx ->
+         List.concat_map (fun u -> conflict_objects tx u) h.History.txns)
+       q)
+
+let check_strongly_progressive (h : History.t) =
+  match check_progressive h with
+  | Error _ as e -> e
+  | Ok () ->
+      let bad =
+        List.find_opt
+          (fun q ->
+            List.length (cobj h q) <= 1
+            && List.for_all
+                 (fun tx -> tx.History.status = History.Aborted)
+                 q)
+          (conflict_components h)
+      in
+      (match bad with
+      | None -> Ok ()
+      | Some q ->
+          Error
+            (Printf.sprintf
+               "all transactions of a conflict class over <=1 object aborted \
+                (e.g. T%d)"
+               (List.hd q).History.id))

@@ -1,0 +1,30 @@
+(** TM-progress checkers (paper, Sections 2–3).
+
+    - {e sequential TM-progress} (minimal progressiveness): a transaction
+      running step contention-free from a t-quiescent configuration commits.
+      On a history this materializes as: if the history is t-sequential, no
+      transaction aborts.
+    - {e progressiveness}: a transaction aborts only if it is concurrent with
+      a conflicting transaction.
+    - {e strong progressiveness}: progressiveness, and in every set
+      [Q ∈ CTrans(H)] with [|CObj(Q)| <= 1] some transaction is not aborted.
+      The minimal such [Q]s are the connected components of the conflict
+      relation, so checking components suffices. *)
+
+type report = (unit, string) result
+
+val check_sequential : History.t -> report
+(** Fails if the history is t-sequential yet contains an aborted
+    transaction. Vacuously succeeds on concurrent histories. *)
+
+val check_progressive : History.t -> report
+
+val conflict_components : History.t -> History.txr list list
+(** Partition of [txns(H)] into the connected components of the conflict
+    relation — the minimal elements of the paper's [CTrans(H)]. *)
+
+val cobj : History.t -> History.txr list -> int list
+(** [CObj_H(Q)]: t-objects on which some member of [Q] conflicts with any
+    other transaction of the history. *)
+
+val check_strongly_progressive : History.t -> report

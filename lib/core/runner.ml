@@ -1,0 +1,146 @@
+open Ptm_machine
+
+module Make (T : Tm_intf.S) = struct
+  type ctx = { state : T.t; next_id : int ref }
+
+  let init machine ~nobjs = { state = T.create machine ~nobjs; next_id = ref 0 }
+  let tm_state ctx = ctx.state
+
+  type tx = { pid : int; id : int; inner : T.tx; mutable dead : bool }
+
+  let tx_id tx = tx.id
+
+  let begin_tx ctx ~pid =
+    let id = !(ctx.next_id) in
+    incr ctx.next_id;
+    { pid; id; inner = T.fresh ctx.state ~pid ~id; dead = false }
+
+  let guard tx = if tx.dead then invalid_arg "Runner: use of dead transaction"
+
+  let read ctx tx x =
+    guard tx;
+    Proc.note (History.Tx_inv { pid = tx.pid; tx = tx.id; op = History.Read x });
+    match T.read ctx.state tx.inner x with
+    | Ok v ->
+        Proc.note
+          (History.Tx_res
+             { pid = tx.pid; tx = tx.id; op = History.Read x; res = History.RVal v });
+        Ok v
+    | Error `Abort ->
+        tx.dead <- true;
+        Proc.note
+          (History.Tx_res
+             { pid = tx.pid; tx = tx.id; op = History.Read x; res = History.RAbort });
+        Error `Abort
+
+  let write ctx tx x v =
+    guard tx;
+    Proc.note
+      (History.Tx_inv { pid = tx.pid; tx = tx.id; op = History.Write (x, v) });
+    match T.write ctx.state tx.inner x v with
+    | Ok () ->
+        Proc.note
+          (History.Tx_res
+             {
+               pid = tx.pid;
+               tx = tx.id;
+               op = History.Write (x, v);
+               res = History.ROk;
+             });
+        Ok ()
+    | Error `Abort ->
+        tx.dead <- true;
+        Proc.note
+          (History.Tx_res
+             {
+               pid = tx.pid;
+               tx = tx.id;
+               op = History.Write (x, v);
+               res = History.RAbort;
+             });
+        Error `Abort
+
+  let commit ctx tx =
+    guard tx;
+    Proc.note (History.Tx_inv { pid = tx.pid; tx = tx.id; op = History.Try_commit });
+    match T.try_commit ctx.state tx.inner with
+    | Ok () ->
+        tx.dead <- true;
+        Proc.note
+          (History.Tx_res
+             { pid = tx.pid; tx = tx.id; op = History.Try_commit; res = History.RCommit });
+        Ok ()
+    | Error `Abort ->
+        tx.dead <- true;
+        Proc.note
+          (History.Tx_res
+             { pid = tx.pid; tx = tx.id; op = History.Try_commit; res = History.RAbort });
+        Error `Abort
+
+  let atomically ctx ~pid ~retries body =
+    let rec attempt k =
+      let tx = begin_tx ctx ~pid in
+      match body tx with
+      | Ok a -> (
+          match commit ctx tx with
+          | Ok () -> Ok a
+          | Error `Abort -> if k < retries then attempt (k + 1) else Error `Abort)
+      | Error `Abort -> if k < retries then attempt (k + 1) else Error `Abort
+    in
+    attempt 0
+end
+
+type outcome = {
+  machine : Machine.t;
+  history : History.t;
+  commits : int;
+  aborts : int;
+}
+
+type schedule = Round_robin | Random_sched of int
+
+let run (module T : Tm_intf.S) ?(retries = 0) ?max_steps ~schedule
+    (w : Workload.t) =
+  let module R = Make (T) in
+  let nprocs = Array.length w.Workload.procs in
+  let machine = Machine.create ~nprocs in
+  let ctx = R.init machine ~nobjs:w.Workload.nobjs in
+  let commits = ref 0 and aborts = ref 0 in
+  let exec_tx pid (spec : Workload.tx_spec) =
+    let body tx =
+      let rec go = function
+        | [] -> Ok ()
+        | Workload.R x :: rest -> (
+            match R.read ctx tx x with
+            | Ok _ -> go rest
+            | Error `Abort -> Error `Abort)
+        | Workload.W (x, v) :: rest -> (
+            match R.write ctx tx x v with
+            | Ok () -> go rest
+            | Error `Abort -> Error `Abort)
+      in
+      go spec
+    in
+    let rec attempt k =
+      let tx = R.begin_tx ctx ~pid in
+      let result =
+        match body tx with Ok () -> R.commit ctx tx | Error `Abort -> Error `Abort
+      in
+      match result with
+      | Ok () -> incr commits
+      | Error `Abort ->
+          incr aborts;
+          if k < retries then attempt (k + 1)
+    in
+    attempt 0
+  in
+  Array.iteri
+    (fun pid specs ->
+      Machine.spawn machine pid (fun () -> List.iter (exec_tx pid) specs))
+    w.Workload.procs;
+  (match schedule with
+  | Round_robin -> Sched.round_robin ?max_steps machine
+  | Random_sched seed -> Sched.random ~seed ?max_steps machine);
+  Machine.check_crashes machine;
+  let history = History.of_trace (Machine.trace machine) in
+  { machine; history; commits = !commits; aborts = !aborts }

@@ -1,0 +1,57 @@
+(** Drive TM implementations over workloads inside the simulated machine,
+    recording the TM history as trace notes.
+
+    {!Make} wraps a TM implementation with history instrumentation: every
+    t-operation is bracketed by {!History.Tx_inv}/{!History.Tx_res} notes
+    (zero-cost in the step model), aborted transactions stop issuing
+    operations (well-formedness), and transaction ids are globally unique.
+    {!run} executes a whole {!Workload.t} under a schedule and returns the
+    recorded history. *)
+
+open Ptm_machine
+
+module Make (T : Tm_intf.S) : sig
+  type ctx
+
+  val init : Machine.t -> nobjs:int -> ctx
+  val tm_state : ctx -> T.t
+
+  type tx
+
+  val tx_id : tx -> int
+
+  val begin_tx : ctx -> pid:int -> tx
+  (** Allocate a fresh instrumented transaction (no memory access, no note —
+      the paper's model has no begin event). *)
+
+  val read : ctx -> tx -> int -> (int, Tm_intf.abort) result
+  val write : ctx -> tx -> int -> int -> (unit, Tm_intf.abort) result
+  val commit : ctx -> tx -> (unit, Tm_intf.abort) result
+
+  val atomically :
+    ctx -> pid:int -> retries:int -> (tx -> ('a, Tm_intf.abort) result) ->
+    ('a, Tm_intf.abort) result
+  (** Run the body as a transaction, committing on success. On abort, retries
+      up to [retries] times as fresh transactions. The body must access
+      t-objects only through {!read} and {!write} on the given handle. *)
+end
+
+type outcome = {
+  machine : Machine.t;
+  history : History.t;
+  commits : int;
+  aborts : int;  (** number of aborted transaction attempts *)
+}
+
+type schedule = Round_robin | Random_sched of int  (** seeded *)
+
+val run :
+  (module Tm_intf.S) ->
+  ?retries:int ->
+  ?max_steps:int ->
+  schedule:schedule ->
+  Workload.t ->
+  outcome
+(** Run the workload to quiescence. [retries] (default 0) is how many times an
+    aborted transaction attempt is re-issued (each retry is a fresh
+    transaction). Crashes inside TM code are re-raised. *)

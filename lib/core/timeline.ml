@@ -1,0 +1,56 @@
+open Ptm_machine
+
+let prim_char prim changed =
+  let c =
+    match prim with
+    | Primitive.Read -> 'r'
+    | Primitive.Write _ -> 'w'
+    | Primitive.Cas _ -> 'c'
+    | Primitive.Tas -> 't'
+    | Primitive.Faa _ -> 'f'
+    | Primitive.Fas _ -> 's'
+    | Primitive.Ll -> 'l'
+    | Primitive.Sc _ -> 'x'
+  in
+  if changed then Char.uppercase_ascii c else c
+
+let cell entry =
+  match entry with
+  | Trace.Mem e -> (e.Trace.pid, prim_char e.Trace.prim e.Trace.changed)
+  | Trace.Note { pid; note; _ } -> (
+      ( pid,
+        match note with
+        | History.Tx_inv _ -> '('
+        | History.Tx_res { res = History.RCommit; _ } -> 'C'
+        | History.Tx_res { res = History.RAbort; _ } -> 'A'
+        | History.Tx_res _ -> ')'
+        | _ -> '*' ))
+
+let pp ?(width = 72) ppf trace =
+  let entries = Trace.entries trace in
+  let nprocs =
+    List.fold_left
+      (fun m e ->
+        match e with
+        | Trace.Mem { pid; _ } | Trace.Note { pid; _ } -> max m (pid + 1))
+      0 entries
+  in
+  let cells = List.map cell entries in
+  let total = List.length cells in
+  let rec chunks start =
+    if start >= total then ()
+    else begin
+      let len = min width (total - start) in
+      let slice = List.filteri (fun i _ -> i >= start && i < start + len) cells in
+      Fmt.pf ppf "t=%-6d@." start;
+      for pid = 0 to nprocs - 1 do
+        Fmt.pf ppf "p%d %s@." pid
+          (String.init len (fun i ->
+               let p, c = List.nth slice i in
+               if p = pid then c else '.'))
+      done;
+      Fmt.pf ppf "@.";
+      chunks (start + width)
+    end
+  in
+  chunks 0

@@ -1,0 +1,12 @@
+(** ASCII timelines of executions: one lane per process, one column per
+    trace entry, so interleavings, contention and transaction boundaries
+    can be read at a glance.
+
+    Legend: lower-case letters are primitive applications
+    ([r]ead, [w]rite, [c]as, [t]as, [f]etch-and-add, [s]wap, [l]l, [x] sc —
+    capitalized when the application changed the base object); [(] / [)]
+    bracket t-operations; [C] and [A] mark commit and abort responses; [.]
+    means "not this process's step". *)
+
+val pp : ?width:int -> Format.formatter -> Ptm_machine.Trace.t -> unit
+(** Render the trace in chunks of [width] (default 72) columns. *)

@@ -1,0 +1,61 @@
+(** The transactional memory interface (paper, Section 2).
+
+    A TM supports transactions over [nobjs] t-objects, indexed [0 ..
+    nobjs-1], holding integer values (initially {!init_value}). Every
+    t-operation either returns a value or aborts the transaction; after an
+    abort the transaction handle must not be used again.
+
+    Implementations run {e inside} simulated processes: all shared-memory
+    interaction must go through {!Ptm_machine.Proc} operations so that steps
+    are counted and traced. Creating a transaction handle ({!S.fresh}) must
+    not access shared memory — the paper has no "begin" operation, so any
+    start-of-transaction work (e.g. reading a global clock) must be deferred
+    to the first t-operation. *)
+
+let init_value = 0
+(** Initial value of every t-object. *)
+
+type abort = [ `Abort ]
+
+(** Properties an implementation claims; checkers validate them on
+    executions. [strongly_progressive] implies [progressive], and
+    [invisible_reads] (the strong form) implies [weak_invisible_reads] (the
+    paper's premise: only transactions running without concurrency must keep
+    their t-reads free of nontrivial events — a lock-free TM whose reads
+    help rival commits is weakly but not strongly invisible). *)
+type props = {
+  opaque : bool;
+  weak_dap : bool;
+  invisible_reads : bool;
+      (** strong invisibility: read-only transactions never apply nontrivial
+          events in any execution *)
+  weak_invisible_reads : bool;
+  progressive : bool;
+  strongly_progressive : bool;
+}
+
+module type S = sig
+  val name : string
+
+  val props : props
+
+  type t
+  (** Shared TM state: base objects allocated at creation. *)
+
+  val create : Ptm_machine.Machine.t -> nobjs:int -> t
+
+  type tx
+  (** Per-transaction descriptor, local to one process. *)
+
+  val fresh : t -> pid:int -> id:int -> tx
+  (** Allocate a transaction handle. Must not access shared memory. *)
+
+  val read : t -> tx -> int -> (int, abort) result
+  val write : t -> tx -> int -> int -> (unit, abort) result
+
+  val try_commit : t -> tx -> (unit, abort) result
+  (** On [Error `Abort] the implementation has already released any base
+      objects it holds; same for aborting reads and writes. *)
+end
+
+type tm = (module S)

@@ -1,0 +1,42 @@
+(** Transactional workload descriptions and seeded random generation. *)
+
+type op_spec = R of int | W of int * int
+
+type tx_spec = op_spec list
+(** The t-operations of one transaction, in program order; the runner appends
+    the [tryC]. *)
+
+type t = {
+  nobjs : int;
+  procs : tx_spec list array;  (** one transaction list per process *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+val random :
+  seed:int ->
+  nprocs:int ->
+  nobjs:int ->
+  txs_per_proc:int ->
+  ops_per_tx:int ->
+  ?write_ratio:float ->
+  ?unique_writes:bool ->
+  ?hotspot:int * float ->
+  unit ->
+  t
+(** Seeded random workload. [write_ratio] (default 0.5) is the probability
+    that an operation is a write. With [unique_writes] (default true) every
+    written value is globally unique — making serialization witnesses easier
+    to diagnose. Written values start at 1 (0 is the initial value of every
+    t-object). [hotspot = (h, p)] directs a fraction [p] of operations at
+    the first [h] t-objects (default: uniform across all objects) — the
+    skewed-access pattern of the classical STM benchmarks. *)
+
+val bank : nprocs:int -> naccounts:int -> transfers_per_proc:int -> seed:int -> t
+(** A transfer workload: each transaction reads two accounts and rewrites
+    them, moving one unit. The total balance is an invariant checked by
+    examples and tests. *)
+
+val read_only_scaling : readers:int -> nobjs:int -> t
+(** Each process reads every object once in a single transaction — the
+    workload of the Theorem 3 experiments' baseline. *)

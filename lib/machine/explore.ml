@@ -1,0 +1,87 @@
+type stats = {
+  paths : int;
+  cut : int;
+  violations : int;
+  first_violation : int list option;
+}
+
+let pp_stats ppf s =
+  Fmt.pf ppf "paths=%d cut=%d violations=%d%s" s.paths s.cut s.violations
+    (match s.first_violation with
+    | None -> ""
+    | Some w ->
+        Printf.sprintf " witness=[%s]"
+          (String.concat ";" (List.map string_of_int w)))
+
+let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
+    ?(max_paths = 1_000_000) () =
+  let paths = ref 0 and cut = ref 0 and violations = ref 0 in
+  let first_violation = ref None in
+  let note_violation rev_schedule =
+    incr violations;
+    if !first_violation = None then
+      first_violation := Some (List.rev rev_schedule)
+  in
+  let replay rev_schedule =
+    let m = mk () in
+    List.iter
+      (fun pid -> ignore (Machine.step m pid : Machine.step_result))
+      (List.rev rev_schedule);
+    m
+  in
+  let crashed m =
+    let n = Machine.nprocs m in
+    let rec go pid =
+      if pid >= n then false
+      else
+        match Machine.status m pid with
+        | Machine.Crashed _ -> true
+        | _ -> go (pid + 1)
+    in
+    go 0
+  in
+  let runnable m =
+    List.filter
+      (fun pid -> Machine.status m pid = Machine.Runnable)
+      (List.init (Machine.nprocs m) Fun.id)
+  in
+  (* DFS over scheduling choices. The first child of each node reuses the
+     current machine in place (machines are single-shot, but the first
+     branch needs no replay); every other sibling replays its prefix on a
+     fresh machine — one replay per extra branch, not per node. *)
+  let rec dfs m rev_schedule depth =
+    if !paths + !cut > max_paths then
+      failwith "Explore.run: path budget exceeded; shrink the configuration";
+    if crashed m then begin
+      incr paths;
+      note_violation rev_schedule
+    end
+    else
+      match runnable m with
+      | [] ->
+          incr paths;
+          if not (final m) then note_violation rev_schedule
+      | live ->
+          if depth >= max_steps then incr cut
+          else begin
+            let rest = List.tl live in
+            (* siblings first (they replay the current prefix), then the
+               head branch consumes [m] in place *)
+            List.iter
+              (fun pid ->
+                let m' = replay rev_schedule in
+                ignore (Machine.step m' pid : Machine.step_result);
+                dfs m' (pid :: rev_schedule) (depth + 1))
+              rest;
+            let pid = List.hd live in
+            ignore (Machine.step m pid : Machine.step_result);
+            dfs m (pid :: rev_schedule) (depth + 1)
+          end
+  in
+  dfs (mk ()) [] 0;
+  {
+    paths = !paths;
+    cut = !cut;
+    violations = !violations;
+    first_violation = !first_violation;
+  }

@@ -1,0 +1,37 @@
+(** Bounded exhaustive schedule exploration (stateless model checking).
+
+    Enumerates {e every} interleaving of the spawned processes' steps, up to
+    a total step bound, re-executing the (deterministic) machine from
+    scratch along each scheduling path. Invariants are expressed as
+    assertions inside the process programs (a violation crashes the process)
+    plus an optional final-state predicate checked on every maximal path.
+
+    Intended for small configurations: the number of paths is the number of
+    interleavings, so keep programs to a few dozen total steps. Spinning
+    programs make some paths infinite; those are cut at [max_steps] and
+    counted in [cut] (the exploration is exhaustive {e within the bound}, as
+    in bounded model checking). *)
+
+type stats = {
+  paths : int;  (** maximal paths fully explored *)
+  cut : int;  (** paths truncated at the step bound *)
+  violations : int;  (** paths ending in a crash or failed final predicate *)
+  first_violation : int list option;
+      (** a witness schedule (pids in step order), if any *)
+}
+
+val run :
+  mk:(unit -> Machine.t) ->
+  ?final:(Machine.t -> bool) ->
+  ?max_steps:int ->
+  ?max_paths:int ->
+  unit ->
+  stats
+(** [mk ()] must build a fresh machine with all processes spawned.
+    [final] (default: fun _ -> true) is evaluated when no process is
+    runnable. [max_steps] (default 60) bounds each path's length;
+    [max_paths] (default 1_000_000) bounds the exploration and raises
+    [Failure] when exceeded — raise it rather than trusting a silently
+    truncated search. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,90 @@
+type pid = int
+
+type status = Idle | Runnable | Terminated | Crashed of exn
+
+type step_result = [ `Progress | `Paused | `Done ]
+
+type slot = {
+  mutable outcome : Proc.outcome option;  (* None = idle *)
+  mutable steps : int;
+}
+
+type t = {
+  memory : Memory.t;
+  trace : Trace.t;
+  procs : slot array;
+}
+
+let create ~nprocs =
+  {
+    memory = Memory.create ();
+    trace = Trace.create ();
+    procs = Array.init nprocs (fun _ -> { outcome = None; steps = 0 });
+  }
+
+let nprocs t = Array.length t.procs
+let memory t = t.memory
+let trace t = t.trace
+let alloc t ?owner ~name v = Memory.alloc t.memory ?owner ~name v
+
+let slot t pid =
+  if pid < 0 || pid >= Array.length t.procs then
+    invalid_arg "Machine: pid out of range";
+  t.procs.(pid)
+
+(* Record notes until the process is parked on a memory request, a pause, or
+   has finished. Notes are instantaneous and free. *)
+let rec drain t pid (o : Proc.outcome) : Proc.outcome =
+  match o with
+  | Proc.Wants_note (n, k) ->
+      Trace.add_note t.trace ~pid n;
+      drain t pid (Effect.Deep.continue k ())
+  | o -> o
+
+let spawn t pid f =
+  let s = slot t pid in
+  if s.outcome <> None then invalid_arg "Machine.spawn: process already spawned";
+  s.outcome <- Some (drain t pid (Proc.start f))
+
+let status t pid =
+  match (slot t pid).outcome with
+  | None -> Idle
+  | Some Proc.Done -> Terminated
+  | Some (Proc.Failed e) -> Crashed e
+  | Some (Proc.Wants_mem _ | Proc.Wants_pause _) -> Runnable
+  | Some (Proc.Wants_note _) -> assert false (* drained eagerly *)
+
+let poised t pid =
+  match (slot t pid).outcome with
+  | Some (Proc.Wants_mem (req, _)) -> Some req
+  | _ -> None
+
+let step t pid : step_result =
+  let s = slot t pid in
+  match s.outcome with
+  | None | Some Proc.Done | Some (Proc.Failed _) -> `Done
+  | Some (Proc.Wants_note _) -> assert false
+  | Some (Proc.Wants_pause k) ->
+      s.outcome <- Some (drain t pid (Effect.Deep.continue k ()));
+      `Paused
+  | Some (Proc.Wants_mem ({ Proc.addr; prim }, k)) ->
+      let resp, changed = Memory.apply t.memory ~pid addr prim in
+      Trace.add_mem t.trace ~pid ~addr prim resp changed;
+      s.steps <- s.steps + 1;
+      s.outcome <- Some (drain t pid (Effect.Deep.continue k resp));
+      `Progress
+
+let steps_of t pid = (slot t pid).steps
+
+let all_done t =
+  Array.for_all
+    (fun s ->
+      match s.outcome with
+      | None | Some Proc.Done | Some (Proc.Failed _) -> true
+      | _ -> false)
+    t.procs
+
+let check_crashes t =
+  Array.iter
+    (fun s -> match s.outcome with Some (Proc.Failed e) -> raise e | _ -> ())
+    t.procs

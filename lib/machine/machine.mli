@@ -1,0 +1,55 @@
+(** The simulated asynchronous shared-memory machine (paper, Section 2).
+
+    A machine bundles a shared {!Memory}, an execution {!Trace}, and a table
+    of processes. Processes are spawned with a program (an OCaml closure using
+    the {!Proc} operations) and advanced one step at a time by a scheduler;
+    every step applies exactly one primitive to one base object and records
+    one event. The machine is fully deterministic: an execution is a function
+    of the programs and the schedule. *)
+
+type t
+
+type pid = int
+
+type status =
+  | Idle  (** no program spawned *)
+  | Runnable
+  | Terminated
+  | Crashed of exn  (** the program raised; surfaced by {!check_crashes} *)
+
+type step_result = [ `Progress | `Paused | `Done ]
+
+val create : nprocs:int -> t
+val nprocs : t -> int
+val memory : t -> Memory.t
+val trace : t -> Trace.t
+
+val alloc : t -> ?owner:pid -> name:string -> Value.t -> Memory.addr
+(** Allocate a base object (set-up, not a step). *)
+
+val spawn : t -> pid -> (unit -> unit) -> unit
+(** Install and start [pid]'s program; runs it up to its first effect.
+    Raises [Invalid_argument] if [pid] already has a program. *)
+
+val status : t -> pid -> status
+
+val poised : t -> pid -> Proc.request option
+(** The event [pid] is poised to apply, if any — the paper's "enabled
+    event". *)
+
+val step : t -> pid -> step_result
+(** Advance [pid]: apply its pending primitive (one event) and run it to its
+    next effect. Notes are drained transparently on either side of the event
+    and cost nothing. [`Paused] means the program hit {!Proc.pause} before
+    applying an event; the pause is consumed. Stepping a terminated or idle
+    process returns [`Done]. A program that raises is marked [Crashed] and
+    returns [`Done]. *)
+
+val steps_of : t -> pid -> int
+(** Number of events (primitive applications) performed by [pid] so far. *)
+
+val all_done : t -> bool
+(** All spawned processes have terminated or crashed. *)
+
+val check_crashes : t -> unit
+(** Re-raise the first recorded crash, if any. *)

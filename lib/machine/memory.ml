@@ -1,0 +1,50 @@
+type addr = int
+
+type cell = {
+  mutable v : Value.t;
+  name : string;
+  owner : int option;
+  mutable links : int list;  (* pids holding a valid load-link *)
+}
+
+type t = { mutable cells : cell array; mutable n : int }
+
+let create () = { cells = [||]; n = 0 }
+
+let grow t =
+  let cap = Array.length t.cells in
+  if t.n >= cap then begin
+    let dummy = { v = Value.Unit; name = ""; owner = None; links = [] } in
+    let fresh = Array.make (max 16 (2 * cap)) dummy in
+    Array.blit t.cells 0 fresh 0 t.n;
+    t.cells <- fresh
+  end
+
+let alloc t ?owner ~name v =
+  grow t;
+  let a = t.n in
+  t.cells.(a) <- { v; name; owner; links = [] };
+  t.n <- t.n + 1;
+  a
+
+let cell t a =
+  if a < 0 || a >= t.n then invalid_arg "Memory: address out of range";
+  t.cells.(a)
+
+let apply t ~pid a p =
+  let c = cell t a in
+  let link_valid = List.mem pid c.links in
+  let v', resp, invalidates = Primitive.apply p ~current:c.v ~link_valid in
+  let changed = not (Value.equal c.v v') in
+  c.v <- v';
+  if invalidates then c.links <- [];
+  (match p with
+  | Primitive.Ll -> if not link_valid then c.links <- pid :: c.links
+  | _ -> ());
+  (resp, changed)
+
+let peek t a = (cell t a).v
+let poke t a v = (cell t a).v <- v
+let owner t a = (cell t a).owner
+let name t a = (cell t a).name
+let size t = t.n

@@ -1,0 +1,32 @@
+(** Simulated shared memory: a growable store of base objects.
+
+    Each base object (cell) has a value, a human-readable name, an optional
+    owner process (used by the DSM cost model of Section 5, where every
+    register is local to exactly one process), and the set of outstanding
+    load-links for LL/SC. *)
+
+type t
+
+type addr = int
+
+val create : unit -> t
+
+val alloc : t -> ?owner:int -> name:string -> Value.t -> addr
+(** Allocate a fresh base object. Allocation is a set-up action of the
+    implementation, not a step of any process. *)
+
+val apply : t -> pid:int -> addr -> Primitive.t -> Value.t * bool
+(** [apply t ~pid a p] applies primitive [p] to base object [a] on behalf of
+    process [pid], returning [(response, changed)]. Maintains LL/SC links:
+    [Ll] registers a link for [pid]; any link-invalidating application (see
+    {!Primitive.apply}) clears all links of [a]. *)
+
+val peek : t -> addr -> Value.t
+(** Observe a cell without producing an event (for tests and invariants). *)
+
+val poke : t -> addr -> Value.t -> unit
+(** Set a cell without producing an event (for test set-up only). *)
+
+val owner : t -> addr -> int option
+val name : t -> addr -> string
+val size : t -> int

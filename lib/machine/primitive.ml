@@ -1,0 +1,37 @@
+type t =
+  | Read
+  | Write of Value.t
+  | Cas of { expected : Value.t; desired : Value.t }
+  | Tas
+  | Faa of int
+  | Fas of Value.t
+  | Ll
+  | Sc of Value.t
+[@@deriving show { with_path = false }, eq]
+
+let is_trivial = function Read | Ll -> true | _ -> false
+let is_nontrivial p = not (is_trivial p)
+let is_conditional = function Cas _ | Sc _ | Tas -> true | _ -> false
+
+let is_rwc = function
+  | Read | Write _ | Cas _ | Sc _ | Ll | Tas -> true
+  | Faa _ | Fas _ -> false
+
+let apply p ~current ~link_valid =
+  match p with
+  | Read -> (current, current, false)
+  | Ll -> (current, current, false)
+  | Write v -> (v, Value.Unit, true)
+  | Fas v -> (v, current, true)
+  | Cas { expected; desired } ->
+      if Value.equal current expected then (desired, Value.Bool true, true)
+      else (current, Value.Bool false, false)
+  | Tas ->
+      let old = Value.to_bool current in
+      (Value.Bool true, Value.Bool old, not old)
+  | Faa k ->
+      let n = Value.to_int current in
+      (Value.Int (n + k), Value.Int n, k <> 0)
+  | Sc v ->
+      if link_valid then (v, Value.Bool true, true)
+      else (current, Value.Bool false, false)

@@ -1,0 +1,53 @@
+type request = { addr : Memory.addr; prim : Primitive.t }
+
+type _ Effect.t +=
+  | Apply : request -> Value.t Effect.t
+  | Note : Trace.note -> unit Effect.t
+  | Pause : unit Effect.t
+
+type outcome =
+  | Done
+  | Failed of exn
+  | Wants_mem of request * (Value.t, outcome) Effect.Deep.continuation
+  | Wants_note of Trace.note * (unit, outcome) Effect.Deep.continuation
+  | Wants_pause of (unit, outcome) Effect.Deep.continuation
+
+let start f =
+  Effect.Deep.match_with f ()
+    {
+      retc = (fun () -> Done);
+      exnc = (fun e -> Failed e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Apply req ->
+              Some
+                (fun (k : (a, outcome) Effect.Deep.continuation) ->
+                  Wants_mem (req, k))
+          | Note n ->
+              Some
+                (fun (k : (a, outcome) Effect.Deep.continuation) ->
+                  Wants_note (n, k))
+          | Pause ->
+              Some
+                (fun (k : (a, outcome) Effect.Deep.continuation) ->
+                  Wants_pause (k))
+          | _ -> None);
+    }
+
+let apply addr prim = Effect.perform (Apply { addr; prim })
+let note n = Effect.perform (Note n)
+let pause () = Effect.perform Pause
+let read a = apply a Primitive.Read
+let read_int a = Value.to_int (read a)
+let read_bool a = Value.to_bool (read a)
+let write a v = ignore (apply a (Primitive.Write v))
+
+let cas a ~expected ~desired =
+  Value.to_bool (apply a (Primitive.Cas { expected; desired }))
+
+let tas a = Value.to_bool (apply a Primitive.Tas)
+let faa a k = Value.to_int (apply a (Primitive.Faa k))
+let fas a v = apply a (Primitive.Fas v)
+let ll a = apply a Primitive.Ll
+let sc a v = Value.to_bool (apply a (Primitive.Sc v))

@@ -1,0 +1,49 @@
+(** Simulated processes as effect-handler coroutines.
+
+    A process is an OCaml computation that interacts with shared memory by
+    performing the {!Apply} effect; every performed [Apply] is one step (one
+    event) of the paper's model. Local computation between two primitive
+    applications is free, exactly as in the step model of Section 2.
+
+    The scheduler owns the continuation: after a process performs [Apply] it
+    is {e poised} to apply that event (the paper's "enabled event"); the event
+    actually takes effect only when the scheduler next steps the process, at
+    which point the primitive is applied to the then-current memory. *)
+
+type request = { addr : Memory.addr; prim : Primitive.t }
+
+type _ Effect.t +=
+  | Apply : request -> Value.t Effect.t
+  | Note : Trace.note -> unit Effect.t
+  | Pause : unit Effect.t
+        (** a voluntary stopping point: costs no step; used by experiment
+            drivers to advance a process one t-operation at a time. *)
+
+type outcome =
+  | Done
+  | Failed of exn
+  | Wants_mem of request * (Value.t, outcome) Effect.Deep.continuation
+  | Wants_note of Trace.note * (unit, outcome) Effect.Deep.continuation
+  | Wants_pause of (unit, outcome) Effect.Deep.continuation
+
+val start : (unit -> unit) -> outcome
+(** Run a process body until its first effect (or completion). *)
+
+(** Effect-performing operations, callable only from inside a process body. *)
+
+val apply : Memory.addr -> Primitive.t -> Value.t
+val note : Trace.note -> unit
+val pause : unit -> unit
+
+(** Typed convenience wrappers around {!apply}. *)
+
+val read : Memory.addr -> Value.t
+val read_int : Memory.addr -> int
+val read_bool : Memory.addr -> bool
+val write : Memory.addr -> Value.t -> unit
+val cas : Memory.addr -> expected:Value.t -> desired:Value.t -> bool
+val tas : Memory.addr -> bool
+val faa : Memory.addr -> int -> int
+val fas : Memory.addr -> Value.t -> Value.t
+val ll : Memory.addr -> Value.t
+val sc : Memory.addr -> Value.t -> bool

@@ -1,0 +1,78 @@
+type model = Cc_write_through | Cc_write_back | Dsm
+
+let model_name = function
+  | Cc_write_through -> "CC/WT"
+  | Cc_write_back -> "CC/WB"
+  | Dsm -> "DSM"
+
+let all_models = [ Cc_write_through; Cc_write_back; Dsm ]
+
+type counts = { per_pid : int array; total : int }
+
+(* Per-address cache line state, per model. For write-through we track the
+   set of processes holding a valid copy. For write-back we track MESI-lite:
+   either one exclusive holder or a set of sharers. *)
+
+type wb_line = Invalid | Shared of int list | Exclusive of int
+
+let iter model memory trace charge =
+  let events = Trace.mem_events trace in
+  match model with
+  | Dsm ->
+      List.iter
+        (fun (e : Trace.mem_event) ->
+          match Memory.owner memory e.addr with
+          | Some o when o = e.pid -> ()
+          | _ -> charge e)
+        events
+  | Cc_write_through ->
+      let valid : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+      let holders a = Option.value ~default:[] (Hashtbl.find_opt valid a) in
+      List.iter
+        (fun (e : Trace.mem_event) ->
+          if Primitive.is_trivial e.prim then begin
+            if not (List.mem e.pid (holders e.addr)) then begin
+              charge e;
+              Hashtbl.replace valid e.addr (e.pid :: holders e.addr)
+            end
+          end
+          else begin
+            (* Write-through: always an RMR; invalidates all cached copies. *)
+            charge e;
+            Hashtbl.replace valid e.addr []
+          end)
+        events
+  | Cc_write_back ->
+      let lines : (int, wb_line) Hashtbl.t = Hashtbl.create 64 in
+      let line a = Option.value ~default:Invalid (Hashtbl.find_opt lines a) in
+      List.iter
+        (fun (e : Trace.mem_event) ->
+          if Primitive.is_trivial e.prim then
+            match line e.addr with
+            | Shared ps when List.mem e.pid ps -> ()
+            | Exclusive p when p = e.pid -> ()
+            | Shared ps ->
+                charge e;
+                Hashtbl.replace lines e.addr (Shared (e.pid :: ps))
+            | Exclusive p ->
+                charge e;
+                (* write back and demote the exclusive holder *)
+                Hashtbl.replace lines e.addr (Shared [ e.pid; p ])
+            | Invalid ->
+                charge e;
+                Hashtbl.replace lines e.addr (Shared [ e.pid ])
+          else
+            match line e.addr with
+            | Exclusive p when p = e.pid -> ()
+            | _ ->
+                charge e;
+                Hashtbl.replace lines e.addr (Exclusive e.pid))
+        events
+
+let count model ~nprocs memory trace =
+  let per_pid = Array.make nprocs 0 in
+  let total = ref 0 in
+  iter model memory trace (fun e ->
+      per_pid.(e.Trace.pid) <- per_pid.(e.Trace.pid) + 1;
+      incr total);
+  { per_pid; total = !total }

@@ -1,0 +1,44 @@
+type note = ..
+type note += Label of string
+
+type mem_event = {
+  seq : int;
+  pid : int;
+  addr : int;
+  prim : Primitive.t;
+  resp : Value.t;
+  changed : bool;
+}
+
+type entry = Mem of mem_event | Note of { seq : int; pid : int; note : note }
+
+type t = { mutable rev_entries : entry list; mutable len : int }
+
+let create () = { rev_entries = []; len = 0 }
+
+let push t e =
+  t.rev_entries <- e :: t.rev_entries;
+  t.len <- t.len + 1
+
+let add_mem t ~pid ~addr prim resp changed =
+  push t (Mem { seq = t.len; pid; addr; prim; resp; changed })
+
+let add_note t ~pid note = push t (Note { seq = t.len; pid; note })
+let length t = t.len
+let entries t = List.rev t.rev_entries
+let iter t f = List.iter f (entries t)
+
+let mem_events t =
+  List.filter_map (function Mem e -> Some e | Note _ -> None) (entries t)
+
+
+let pp_note_default ppf = function
+  | Label s -> Fmt.pf ppf "label %S" s
+  | _ -> Fmt.pf ppf "<note>"
+
+let pp_entry ~pp_note ppf = function
+  | Mem { seq; pid; addr; prim; resp; changed } ->
+      Fmt.pf ppf "%4d p%d  b%d %a -> %a%s" seq pid addr Primitive.pp prim
+        Value.pp resp
+        (if changed then " *" else "")
+  | Note { seq; pid; note } -> Fmt.pf ppf "%4d p%d  %a" seq pid pp_note note

@@ -1,0 +1,37 @@
+(** Execution traces: the ground truth of an execution (paper, Section 2).
+
+    Every application of a primitive to a base object is recorded as a
+    {!mem_event} — one event of the paper's model. Algorithms may additionally
+    emit zero-cost {e notes} (an open type extended by higher layers, e.g.
+    t-operation invocations/responses), which record logical structure without
+    counting as steps. Offline analyses (step counting, RMR accounting,
+    history extraction, invisibility and DAP checking) are pure functions of
+    the trace. *)
+
+type note = ..
+
+type note += Label of string  (** free-form annotation, mostly for debugging *)
+
+type mem_event = {
+  seq : int;  (** global sequence number, shared with notes *)
+  pid : int;
+  addr : int;
+  prim : Primitive.t;
+  resp : Value.t;
+  changed : bool;  (** whether the application changed the base object *)
+}
+
+type entry = Mem of mem_event | Note of { seq : int; pid : int; note : note }
+
+type t
+
+val create : unit -> t
+val add_mem : t -> pid:int -> addr:int -> Primitive.t -> Value.t -> bool -> unit
+val add_note : t -> pid:int -> note -> unit
+val length : t -> int
+val entries : t -> entry list
+val iter : t -> (entry -> unit) -> unit
+val mem_events : t -> mem_event list
+
+val pp_entry : pp_note:(Format.formatter -> note -> unit) -> Format.formatter -> entry -> unit
+val pp_note_default : Format.formatter -> note -> unit

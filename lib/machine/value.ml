@@ -1,0 +1,17 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Pid of int
+  | Pair of t * t
+[@@deriving show { with_path = false }, eq, ord]
+
+let nil_pid = Pid (-1)
+
+let bad expected v =
+  invalid_arg (Printf.sprintf "Value.to_%s: got %s" expected (show v))
+
+let to_int = function Int n -> n | v -> bad "int" v
+let to_bool = function Bool b -> b | v -> bad "bool" v
+let to_pid = function Pid p -> p | v -> bad "pid" v
+let to_pair = function Pair (a, b) -> (a, b) | v -> bad "pair" v

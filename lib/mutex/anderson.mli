@@ -1,0 +1,7 @@
+(** Anderson's array queue lock (the paper's reference [2]): a
+    fetch-and-increment ticket indexes into a ring of spin slots, so each
+    waiter spins on its own slot and a release invalidates exactly one
+    waiter's cache line. O(1) RMRs per passage in CC models; not local-spin
+    in DSM (slots rotate among processes). *)
+
+include Mutex_intf.S

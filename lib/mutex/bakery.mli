@@ -1,0 +1,8 @@
+(** Lamport's bakery algorithm: the classic mutual exclusion from reads and
+    writes only, with first-come-first-served fairness. Every passage scans
+    all n processes' tickets, so it costs Θ(n) RMRs per passage even without
+    contention — the historical baseline the O(log n)-RMR tournament
+    algorithms (and the Ω(n log n) bound's tightness question) improved
+    upon. *)
+
+include Mutex_intf.S

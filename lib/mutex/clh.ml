@@ -1,0 +1,46 @@
+(** The CLH queue lock (Craig; Landin & Hagersten): an implicit queue of
+    single-flag nodes. A process enqueues its node with a fetch-and-store on
+    the tail and spins on its {e predecessor's} node, which it then recycles
+    as its own next node. O(1) RMRs per passage in CC models (the spin value
+    is cached until the predecessor's single release write); not local-spin
+    in DSM, where the predecessor's node is remote — the classic CC/DSM
+    asymmetry opposite to {!Mcs}. *)
+
+open Ptm_machine
+
+let name = "clh"
+
+type t = {
+  tail : Memory.addr;  (* holds the address of the last node, as Int *)
+  my_node : Memory.addr array;  (* process-local: node to enqueue next *)
+  my_pred : Memory.addr array;  (* process-local: node being spun on *)
+}
+
+let create machine ~nprocs =
+  (* one node per process plus the initial (released) node *)
+  let node p v =
+    Machine.alloc machine
+      ~name:(Printf.sprintf "clh.node[%s]" p)
+      (Value.Bool v)
+  in
+  let initial = node "init" false in
+  {
+    tail = Machine.alloc machine ~name:"clh.tail" (Value.Int initial);
+    my_node = Array.init nprocs (fun p -> node (string_of_int p) false);
+    my_pred = Array.make nprocs (-1);
+  }
+
+let enter t ~pid =
+  let node = t.my_node.(pid) in
+  Proc.write node (Value.Bool true);
+  let pred = Value.to_int (Proc.fas t.tail (Value.Int node)) in
+  t.my_pred.(pid) <- pred;
+  while Proc.read_bool pred do
+    ()
+  done
+
+let exit_cs t ~pid =
+  let node = t.my_node.(pid) in
+  Proc.write node (Value.Bool false);
+  (* recycle the predecessor's node as our next enqueue node *)
+  t.my_node.(pid) <- t.my_pred.(pid)

@@ -1,0 +1,9 @@
+(** The CLH queue lock (Craig; Landin & Hagersten): an implicit queue of
+    single-flag nodes. A process enqueues its node with a fetch-and-store on
+    the tail and spins on its {e predecessor's} node, which it then recycles
+    as its own next node. O(1) RMRs per passage in CC models (the spin value
+    is cached until the predecessor's single release write); not local-spin
+    in DSM, where the predecessor's node is remote — the classic CC/DSM
+    asymmetry opposite to {!Mcs}. *)
+
+include Mutex_intf.S

@@ -1,0 +1,67 @@
+open Ptm_machine
+
+type result = {
+  nprocs : int;
+  rounds : int;
+  total_steps : int;
+  rmr : (Rmr.model * Rmr.counts) list;
+  machine : Machine.t;
+}
+
+exception Mutual_exclusion_violation of string
+
+let run (module L : Mutex_intf.S) ~nprocs ~rounds ?(schedule = `Round_robin)
+    ?max_steps () =
+  let machine = Machine.create ~nprocs in
+  let lock = L.create machine ~nprocs in
+  let counter = Machine.alloc machine ~name:"cs.counter" (Value.Int 0) in
+  let occupancy = ref 0 in
+  let check pid =
+    if !occupancy <> 1 then
+      raise
+        (Mutual_exclusion_violation
+           (Printf.sprintf "p%d saw occupancy %d" pid !occupancy))
+  in
+  for pid = 0 to nprocs - 1 do
+    Machine.spawn machine pid (fun () ->
+        for _ = 1 to rounds do
+          L.enter lock ~pid;
+          incr occupancy;
+          check pid;
+          (* a non-atomic increment: any overlap loses updates and any
+             interleaved entrant trips the occupancy check *)
+          let v = Proc.read_int counter in
+          Proc.write counter (Value.Int (v + 1));
+          check pid;
+          decr occupancy;
+          L.exit_cs lock ~pid
+        done)
+  done;
+  (match schedule with
+  | `Round_robin -> Sched.round_robin ?max_steps machine
+  | `Random seed -> Sched.random ~seed ?max_steps machine);
+  Machine.check_crashes machine;
+  let final = Value.to_int (Memory.peek (Machine.memory machine) counter) in
+  if final <> nprocs * rounds then
+    raise
+      (Mutual_exclusion_violation
+         (Printf.sprintf "lost updates: counter %d, expected %d" final
+            (nprocs * rounds)));
+  let total_steps =
+    let s = ref 0 in
+    for pid = 0 to nprocs - 1 do
+      s := !s + Machine.steps_of machine pid
+    done;
+    !s
+  in
+  let rmr =
+    List.map
+      (fun model ->
+        ( model,
+          Rmr.count model ~nprocs (Machine.memory machine)
+            (Machine.trace machine) ))
+      Rmr.all_models
+  in
+  { nprocs; rounds; total_steps; rmr; machine }
+
+let rmr_of r model = (List.assoc model r.rmr).Rmr.total

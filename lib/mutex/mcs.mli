@@ -1,0 +1,7 @@
+(** The MCS queue lock (Mellor-Crummey & Scott): each process owns a static
+    queue node and spins only on its own [locked] flag, so a passage costs
+    O(1) RMRs in both CC and DSM models — the gold standard the Ω(n log n)
+    bound does not apply to because MCS uses fetch-and-store (not in the
+    read/write/conditional class of Theorem 9). *)
+
+include Mutex_intf.S

@@ -1,0 +1,21 @@
+(** Mutual exclusion objects (paper, Section 5): operations [Enter] and
+    [Exit], implemented over the simulated shared memory.
+
+    Implementations must satisfy mutual exclusion, deadlock-freedom and
+    finite exit; the harness validates all three on executions. [enter] and
+    [exit_cs] are called from inside process bodies. Process-local
+    bookkeeping (loop indices, the face bit of Algorithm 1, a claimed queue
+    node) may live in OCaml state indexed by [pid]; everything shared goes
+    through {!Ptm_machine.Proc} primitives. *)
+
+module type S = sig
+  val name : string
+
+  type t
+
+  val create : Ptm_machine.Machine.t -> nprocs:int -> t
+  val enter : t -> pid:int -> unit
+  val exit_cs : t -> pid:int -> unit
+end
+
+type mutex = (module S)

@@ -1,0 +1,21 @@
+(** All mutex implementations, including the Algorithm 1 reductions over the
+    single-object strongly progressive TMs. *)
+
+module Tm_oneshot = Tm_mutex.Make (Ptm_tms.Oneshot)
+module Tm_llsc = Tm_mutex.Make (Ptm_tms.Oneshot_llsc)
+module Tm_sgl = Tm_mutex.Make (Ptm_tms.Sgl)
+
+let baselines : Mutex_intf.mutex list =
+  [
+    (module Tas); (module Ttas); (module Ticket); (module Bakery);
+    (module Anderson); (module Mcs); (module Clh); (module Tournament);
+    (module Yang_anderson);
+  ]
+
+let reductions : Mutex_intf.mutex list =
+  [ (module Tm_oneshot); (module Tm_llsc); (module Tm_sgl) ]
+
+let all : Mutex_intf.mutex list = baselines @ reductions
+
+let by_name n =
+  List.find_opt (fun (module L : Mutex_intf.S) -> String.equal L.name n) all

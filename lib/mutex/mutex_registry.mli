@@ -1,0 +1,15 @@
+(** All mutex implementations, for generic tests and RMR sweeps. *)
+
+module Tm_oneshot : Mutex_intf.S
+(** Algorithm 1 over the CAS single-object TM. *)
+
+module Tm_llsc : Mutex_intf.S
+(** Algorithm 1 over the LL/SC single-object TM. *)
+
+module Tm_sgl : Mutex_intf.S
+(** Algorithm 1 over the single-global-lock TM (ablation). *)
+
+val baselines : Mutex_intf.mutex list
+val reductions : Mutex_intf.mutex list
+val all : Mutex_intf.mutex list
+val by_name : string -> Mutex_intf.mutex option

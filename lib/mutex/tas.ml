@@ -1,0 +1,19 @@
+(** Test-and-set spin lock: the simplest mutex, and the RMR worst case — in
+    CC models every failed TAS is a write access that invalidates all cached
+    copies, so n contenders generate unbounded RMRs while spinning. *)
+
+open Ptm_machine
+
+let name = "tas"
+
+type t = { lock : Memory.addr }
+
+let create machine ~nprocs:_ =
+  { lock = Machine.alloc machine ~name:"tas.lock" (Value.Bool false) }
+
+let enter t ~pid:_ =
+  while Proc.tas t.lock do
+    ()
+  done
+
+let exit_cs t ~pid:_ = Proc.write t.lock (Value.Bool false)

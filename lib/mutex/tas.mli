@@ -1,0 +1,5 @@
+(** Test-and-set spin lock: the simplest mutex, and the RMR worst case — in
+    CC models every failed TAS is a write access that invalidates all cached
+    copies, so n contenders generate unbounded RMRs while spinning. *)
+
+include Mutex_intf.S

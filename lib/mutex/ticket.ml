@@ -1,0 +1,27 @@
+(** Ticket lock: fetch-and-increment a ticket counter, spin until the
+    now-serving counter reaches your ticket. FIFO-fair, but every release
+    invalidates {e all} waiting spinners' cached copies of the serving
+    counter, so the CC RMR total is Θ(n²) under full contention — the
+    contrast motivating Anderson's per-waiter slots. *)
+
+open Ptm_machine
+
+let name = "ticket"
+
+type t = { next : Memory.addr; serving : Memory.addr }
+
+let create machine ~nprocs:_ =
+  {
+    next = Machine.alloc machine ~name:"ticket.next" (Value.Int 0);
+    serving = Machine.alloc machine ~name:"ticket.serving" (Value.Int 0);
+  }
+
+let enter t ~pid:_ =
+  let my = Proc.faa t.next 1 in
+  while Proc.read_int t.serving <> my do
+    ()
+  done
+
+let exit_cs t ~pid:_ =
+  let s = Proc.read_int t.serving in
+  Proc.write t.serving (Value.Int (s + 1))

@@ -1,0 +1,7 @@
+(** Ticket lock: fetch-and-increment a ticket counter, spin until the
+    now-serving counter reaches your ticket. FIFO-fair, but every release
+    invalidates {e all} waiting spinners' cached copies of the serving
+    counter, so the CC RMR total is Θ(n²) under full contention — the
+    contrast motivating Anderson's per-waiter slots. *)
+
+include Mutex_intf.S

@@ -1,0 +1,9 @@
+(** Algorithm 1 of the paper: a deadlock-free, finite-exit mutual exclusion
+    object L(M) built from a strictly serializable, strongly progressive TM
+    [M] operating on a single t-object (see the implementation header for
+    the corrected line-30 spin condition). The functor is generic in the
+    substrate TM, which is driven through the instrumented
+    {!Ptm_core.Runner.Make} API so that TM steps remain attributable in the
+    trace (used by the Theorem 7 overhead measurement). *)
+
+module Make (_ : Ptm_core.Tm_intf.S) : Mutex_intf.S

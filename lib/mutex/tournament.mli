@@ -1,0 +1,8 @@
+(** Tournament lock: a binary arbitration tree of two-process Peterson
+    locks. A passage acquires ⌈log₂ n⌉ nodes, each O(1) remote accesses in
+    CC models, so the total RMR cost over n acquisitions is Θ(n log n) — the
+    shape of the Theorem 9 lower bound. Spins touch the rival's flag, so the
+    lock is not local-spin in DSM (see {!Yang_anderson} for the DSM-local
+    variant). Uses reads and writes only. *)
+
+include Mutex_intf.S

@@ -1,0 +1,23 @@
+(** Test-and-test-and-set lock: spin on a read of the cached value and
+    attempt the TAS only when the lock looks free. Reduces CC RMRs versus
+    {!Tas} (reads hit the cache) but each release still triggers a stampede
+    of invalidations. *)
+
+open Ptm_machine
+
+let name = "ttas"
+
+type t = { lock : Memory.addr }
+
+let create machine ~nprocs:_ =
+  { lock = Machine.alloc machine ~name:"ttas.lock" (Value.Bool false) }
+
+let enter t ~pid:_ =
+  let rec go () =
+    if Proc.read_bool t.lock then go ()
+    else if Proc.tas t.lock then go ()
+    else ()
+  in
+  go ()
+
+let exit_cs t ~pid:_ = Proc.write t.lock (Value.Bool false)

@@ -1,0 +1,6 @@
+(** Test-and-test-and-set lock: spin on a read of the cached value and
+    attempt the TAS only when the lock looks free. Reduces CC RMRs versus
+    {!Tas} (reads hit the cache) but each release still triggers a stampede
+    of invalidations. *)
+
+include Mutex_intf.S

@@ -1,0 +1,20 @@
+(** Yang–Anderson tournament lock (Yang & Anderson, Distributed Computing
+    1995): an arbitration tree whose two-process components make waiters spin
+    on a {e per-process, per-node} flag owned by the spinning process — local
+    spinning in both CC and DSM. Θ(log n) RMRs per passage using reads and
+    writes only: the classical upper bound facing the Ω(n log n)
+    mutual-exclusion lower bound the paper reduces to (its reference [3]).
+
+    Two structural points matter for correctness in the fully asynchronous
+    model and are exercised by the random-schedule tests:
+    - the spin flag is per {e node}: a single per-process flag admits stale
+      signals from a lower node spuriously waking a waiter at a higher node
+      (observed as deadlock under random schedules);
+    - nodes are released from the {e root down}, so that a slow rival whose
+      signal write is still pending keeps its subtree blocked and the signal
+      cannot land in a later passage.
+
+    We spend O(n) space per node where the original achieves O(1) amortized;
+    the RMR behaviour (the measured quantity) is identical. *)
+
+include Mutex_intf.S

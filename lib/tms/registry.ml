@@ -1,0 +1,19 @@
+let all : Ptm_core.Tm_intf.tm list =
+  [ (module Dstm); (module Lazy_tm); (module Undolog); (module Ostm);
+    (module Tl2); (module Tl2x); (module Norec); (module Mvtm);
+    (module Visread); (module Sgl) ]
+
+let validation_class : Ptm_core.Tm_intf.tm list =
+  [ (module Dstm); (module Lazy_tm); (module Undolog); (module Ostm) ]
+
+let escape_class : Ptm_core.Tm_intf.tm list =
+  [ (module Tl2); (module Norec); (module Mvtm); (module Visread);
+    (module Sgl) ]
+
+let single_object : Ptm_core.Tm_intf.tm list =
+  [ (module Oneshot); (module Oneshot_llsc) ]
+
+let by_name n =
+  List.find_opt
+    (fun (module T : Ptm_core.Tm_intf.S) -> String.equal T.name n)
+    (single_object @ all)

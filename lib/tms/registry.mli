@@ -1,0 +1,16 @@
+(** All TM implementations, for generic tests, benches and experiments. *)
+
+val all : Ptm_core.Tm_intf.tm list
+(** Every general-purpose TM (excludes the single-object TMs, which restrict
+    transactions to one t-object). *)
+
+val single_object : Ptm_core.Tm_intf.tm list
+(** The Section 5 substrates: {!Oneshot} (CAS) and {!Oneshot_llsc}. *)
+
+val validation_class : Ptm_core.Tm_intf.tm list
+(** The TMs in the Theorem 3 class: weak DAP + invisible reads. *)
+
+val escape_class : Ptm_core.Tm_intf.tm list
+(** TMs escaping the Theorem 3 bound by violating one premise. *)
+
+val by_name : string -> Ptm_core.Tm_intf.tm option

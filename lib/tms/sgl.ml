@@ -1,0 +1,56 @@
+open Ptm_machine
+
+let name = "sgl"
+
+let props =
+  {
+    Ptm_core.Tm_intf.opaque = true;
+    weak_dap = false;
+    invisible_reads = false;
+    weak_invisible_reads = false;
+    progressive = true;
+    strongly_progressive = true;
+  }
+
+type t = { lock : Memory.addr; data : Memory.addr array }
+
+let create machine ~nobjs =
+  {
+    lock = Machine.alloc machine ~name:"sgl.lock" (Value.Bool false);
+    data =
+      Orec.alloc_array machine ~prefix:"sgl.data" ~nobjs
+        ~init:(Value.Int Ptm_core.Tm_intf.init_value);
+  }
+
+type tx = { mutable holding : bool }
+
+let fresh _t ~pid:_ ~id:_ = { holding = false }
+
+(* Test-and-test-and-set acquisition: spin on the cached value, attempt the
+   TAS only when the lock looks free. *)
+let acquire t tx =
+  if not tx.holding then begin
+    let rec go () =
+      if Proc.read_bool t.lock then go ()
+      else if Proc.tas t.lock then go ()
+      else ()
+    in
+    go ();
+    tx.holding <- true
+  end
+
+let read t tx x =
+  acquire t tx;
+  Ok (Value.to_int (Proc.read t.data.(x)))
+
+let write t tx x v =
+  acquire t tx;
+  Proc.write t.data.(x) (Value.Int v);
+  Ok ()
+
+let try_commit t tx =
+  if tx.holding then begin
+    Proc.write t.lock (Value.Bool false);
+    tx.holding <- false
+  end;
+  Ok ()

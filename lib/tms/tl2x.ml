@@ -1,0 +1,143 @@
+open Ptm_machine
+
+let name = "tl2x"
+
+let props =
+  {
+    Ptm_core.Tm_intf.opaque = true;
+    weak_dap = false;
+    invisible_reads = true;
+    weak_invisible_reads = true;
+    progressive = true;
+    strongly_progressive = false;
+  }
+
+type t = {
+  clock : Memory.addr;
+  orecs : Memory.addr array;
+  data : Memory.addr array;
+}
+
+let create machine ~nobjs =
+  {
+    clock = Machine.alloc machine ~name:"tl2x.clock" (Value.Int 0);
+    orecs =
+      Orec.alloc_array machine ~prefix:"tl2x.orec" ~nobjs
+        ~init:(Orec.pack ~ver:0 ~owner:Orec.none);
+    data =
+      Orec.alloc_array machine ~prefix:"tl2x.data" ~nobjs
+        ~init:(Value.Int Ptm_core.Tm_intf.init_value);
+  }
+
+type tx = {
+  id : int;
+  mutable rv : int;
+  mutable rset : (int * (int * int)) list;  (* obj -> (ver read at, value) *)
+  mutable wbuf : (int * int) list;
+}
+
+let fresh _t ~pid:_ ~id = { id; rv = -1; rset = []; wbuf = [] }
+
+let ensure_rv t tx = if tx.rv < 0 then tx.rv <- Proc.read_int t.clock
+
+(* Re-validate the whole read set: every entry still unlocked at its
+   recorded version. On success the snapshot may be extended to [new_rv]. *)
+let revalidate t tx =
+  List.for_all
+    (fun (x, (ver, _)) ->
+      let ver', owner' = Orec.unpack (Proc.read t.orecs.(x)) in
+      ver' = ver && owner' = Orec.none)
+    tx.rset
+
+let read t tx x =
+  match List.assoc_opt x tx.wbuf with
+  | Some v -> Ok v
+  | None -> (
+      match List.assoc_opt x tx.rset with
+      | Some (_, v) -> Ok v
+      | None ->
+          ensure_rv t tx;
+          let rec attempt () =
+            let ver, owner = Orec.unpack (Proc.read t.orecs.(x)) in
+            if owner <> Orec.none then Error `Abort
+            else
+              let v = Value.to_int (Proc.read t.data.(x)) in
+              let ver2, owner2 = Orec.unpack (Proc.read t.orecs.(x)) in
+              if ver2 <> ver || owner2 <> Orec.none then Error `Abort
+              else if ver <= tx.rv then begin
+                tx.rset <- (x, (ver, v)) :: tx.rset;
+                Ok v
+              end
+              else begin
+                (* timestamp extension: sample the clock, re-validate, and
+                   retry with the extended snapshot *)
+                let new_rv = Proc.read_int t.clock in
+                if revalidate t tx then begin
+                  tx.rv <- new_rv;
+                  attempt ()
+                end
+                else Error `Abort
+              end
+          in
+          attempt ())
+
+let write t tx x v =
+  ensure_rv t tx;
+  tx.wbuf <- (x, v) :: tx.wbuf;
+  Ok ()
+
+let wset tx = List.sort_uniq compare (List.map fst tx.wbuf)
+
+let release t held =
+  List.iter
+    (fun (x, ver) -> Proc.write t.orecs.(x) (Orec.pack ~ver ~owner:Orec.none))
+    held
+
+let try_commit t tx =
+  if tx.wbuf = [] then Ok ()
+  else begin
+    let rec acquire held = function
+      | [] -> Ok held
+      | x :: rest ->
+          let ver, owner = Orec.unpack (Proc.read t.orecs.(x)) in
+          if owner <> Orec.none then Error held
+          else if
+            Proc.cas t.orecs.(x)
+              ~expected:(Orec.pack ~ver ~owner:Orec.none)
+              ~desired:(Orec.pack ~ver ~owner:tx.id)
+          then acquire ((x, ver) :: held) rest
+          else Error held
+    in
+    match acquire [] (wset tx) with
+    | Error held ->
+        release t held;
+        Error `Abort
+    | Ok held ->
+        let wv = 1 + Proc.faa t.clock 1 in
+        let rset_ok =
+          List.for_all
+            (fun (x, (ver, _)) ->
+              if List.mem_assoc x held then ver = List.assoc x held
+              else
+                let ver', owner' = Orec.unpack (Proc.read t.orecs.(x)) in
+                owner' = Orec.none && ver' = ver)
+            tx.rset
+        in
+        if not rset_ok then begin
+          release t held;
+          Error `Abort
+        end
+        else begin
+          List.iter
+            (fun (x, _) ->
+              match List.assoc_opt x tx.wbuf with
+              | Some v -> Proc.write t.data.(x) (Value.Int v)
+              | None -> ())
+            held;
+          List.iter
+            (fun (x, _) ->
+              Proc.write t.orecs.(x) (Orec.pack ~ver:wv ~owner:Orec.none))
+            held;
+          Ok ()
+        end
+  end

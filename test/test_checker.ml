@@ -1,0 +1,444 @@
+(* Tests for the strict serializability and opacity checkers on hand-built
+   litmus histories. *)
+
+open Ptm_core
+
+(* Build a txr directly. [ops] are (op, res option); [first]/[last] give the
+   real-time interval. *)
+let tx ?(pid = 0) id ~first ~last ~status ops =
+  { History.id; pid; ops; first; last; status }
+
+let h txns = { History.txns; nobjs = 8 }
+
+let read x v = (History.Read x, Some (History.RVal v))
+let write x v = (History.Write (x, v), Some History.ROk)
+let commit = (History.Try_commit, Some History.RCommit)
+let abort_commit = (History.Try_commit, Some History.RAbort)
+
+let check_ok name verdict =
+  match verdict with
+  | Checker.Serializable _ -> ()
+  | v -> Alcotest.failf "%s: expected serializable, got %a" name Checker.pp_verdict v
+
+let check_bad name verdict =
+  match verdict with
+  | Checker.Not_serializable _ -> ()
+  | v ->
+      Alcotest.failf "%s: expected not-serializable, got %a" name
+        Checker.pp_verdict v
+
+(* -------------------------------------------------------------- *)
+
+let test_empty () =
+  check_ok "empty" (Checker.strictly_serializable (h []));
+  check_ok "empty opaque" (Checker.opaque (h []))
+
+let test_serial_write_read () =
+  let t1 = tx 1 ~first:0 ~last:10 ~status:History.Committed [ write 0 1; commit ] in
+  let t2 = tx 2 ~first:20 ~last:30 ~status:History.Committed [ read 0 1; commit ] in
+  check_ok "w-r chain" (Checker.strictly_serializable (h [ t1; t2 ]));
+  check_ok "opaque too" (Checker.opaque (h [ t1; t2 ]))
+
+let test_stale_read_violates_rt () =
+  (* T2 runs entirely after T1 committed x=1, yet reads 0: serializable only
+     by reordering against real time, so strictly NOT serializable. *)
+  let t1 = tx 1 ~first:0 ~last:10 ~status:History.Committed [ write 0 1; commit ] in
+  let t2 = tx 2 ~first:20 ~last:30 ~status:History.Committed [ read 0 0; commit ] in
+  check_bad "stale read" (Checker.strictly_serializable (h [ t1; t2 ]));
+  check_bad "stale read opaque" (Checker.opaque (h [ t1; t2 ]))
+
+let test_reorder_when_concurrent () =
+  (* Same reads, but concurrent: placing T2 before T1 legalizes it. *)
+  let t1 = tx 1 ~first:0 ~last:30 ~status:History.Committed [ write 0 1; commit ] in
+  let t2 =
+    tx 2 ~pid:1 ~first:5 ~last:25 ~status:History.Committed [ read 0 0; commit ]
+  in
+  check_ok "concurrent reorder" (Checker.strictly_serializable (h [ t1; t2 ]))
+
+let test_lost_update () =
+  let t1 =
+    tx 1 ~first:0 ~last:30 ~status:History.Committed
+      [ read 0 0; write 0 1; commit ]
+  in
+  let t2 =
+    tx 2 ~pid:1 ~first:5 ~last:35 ~status:History.Committed
+      [ read 0 0; write 0 2; commit ]
+  in
+  check_bad "lost update" (Checker.strictly_serializable (h [ t1; t2 ]))
+
+let test_read_your_writes () =
+  let t1 =
+    tx 1 ~first:0 ~last:10 ~status:History.Committed
+      [ write 0 5; read 0 5; commit ]
+  in
+  check_ok "ryw" (Checker.strictly_serializable (h [ t1 ]));
+  (* reading something else after your own write is illegal *)
+  let t2 =
+    tx 2 ~first:0 ~last:10 ~status:History.Committed
+      [ write 0 5; read 0 0; commit ]
+  in
+  check_bad "ryw wrong" (Checker.strictly_serializable (h [ t2 ]))
+
+let test_aborted_invisible () =
+  (* T1's write aborted; T2 must not see it. *)
+  let t1 =
+    tx 1 ~first:0 ~last:10 ~status:History.Aborted [ write 0 1; abort_commit ]
+  in
+  let t2 = tx 2 ~first:20 ~last:30 ~status:History.Committed [ read 0 1; commit ] in
+  check_bad "dirty read" (Checker.strictly_serializable (h [ t1; t2 ]));
+  check_bad "dirty read opaque" (Checker.opaque (h [ t1; t2 ]));
+  let t2' = tx 2 ~first:20 ~last:30 ~status:History.Committed [ read 0 0; commit ] in
+  check_ok "abort invisible" (Checker.strictly_serializable (h [ t1; t2' ]));
+  check_ok "abort invisible opaque" (Checker.opaque (h [ t1; t2' ]))
+
+let test_opacity_stricter_than_strict_ser () =
+  (* Classic: aborted T2 observes an inconsistent snapshot across T1's
+     commit. Strictly serializable (committed transactions are fine) but not
+     opaque. *)
+  let t1 =
+    tx 1 ~first:10 ~last:20 ~status:History.Committed
+      [ write 0 1; write 1 1; commit ]
+  in
+  let t2 =
+    tx 2 ~pid:1 ~first:0 ~last:40 ~status:History.Aborted
+      [ read 0 0; (History.Read 1, Some (History.RVal 1)); abort_commit ]
+  in
+  check_ok "strict ok" (Checker.strictly_serializable (h [ t1; t2 ]));
+  check_bad "not opaque" (Checker.opaque (h [ t1; t2 ]))
+
+let test_commit_pending_completion () =
+  (* T1's tryC is pending; T2 already observed its write, so the only legal
+     completion commits T1. *)
+  let t1 =
+    tx 1 ~first:0 ~last:10 ~status:History.Live
+      [ write 0 1; (History.Try_commit, None) ]
+  in
+  let t2 = tx 2 ~first:20 ~last:30 ~status:History.Committed [ read 0 1; commit ] in
+  check_ok "completion commits" (Checker.strictly_serializable (h [ t1; t2 ]));
+  (* and if nobody saw it, completing as aborted also works *)
+  let t2' = tx 2 ~first:20 ~last:30 ~status:History.Committed [ read 0 0; commit ] in
+  check_ok "completion aborts" (Checker.strictly_serializable (h [ t1; t2' ]))
+
+let test_live_without_tryc_cannot_commit () =
+  (* A live transaction that never invoked tryC is aborted in every
+     completion: its writes must be invisible. *)
+  let t1 = tx 1 ~first:0 ~last:10 ~status:History.Live [ write 0 1 ] in
+  let t2 = tx 2 ~first:20 ~last:30 ~status:History.Committed [ read 0 1; commit ] in
+  check_bad "phantom write" (Checker.strictly_serializable (h [ t1; t2 ]))
+
+let test_three_way_cycle () =
+  (* Pairwise serializable but globally cyclic: T1 reads x before T2's write;
+     T2 reads y before T3's write; T3 reads z before T1's write. All
+     concurrent. x=0,y=1,z=2. *)
+  let t1 =
+    tx 1 ~first:0 ~last:100 ~status:History.Committed
+      [ read 0 0; write 2 9; commit ]
+  in
+  let t2 =
+    tx 2 ~pid:1 ~first:1 ~last:101 ~status:History.Committed
+      [ read 1 0; write 0 7; commit ]
+  in
+  let t3 =
+    tx 3 ~pid:2 ~first:2 ~last:102 ~status:History.Committed
+      [ read 2 0; write 1 8; commit ]
+  in
+  (* T1 before T2 (reads x=0), T2 before T3 (reads y=0), T3 before T1 (reads
+     z=0): that's consistent — order T1 T2 T3? T2 reads y=0 ok, T3 reads z=9?
+     No: T3 reads z (obj 2) = 0 but T1 wrote 9. So T3 before T1; T1 reads x=0
+     but T2 wrote x=7, so T1 before T2; T2 reads y=0 but T3 wrote y=8, so T2
+     before T3 — a cycle. *)
+  check_bad "cycle" (Checker.strictly_serializable (h [ t1; t2; t3 ]))
+
+let test_fast_path_insufficient () =
+  (* Commit-time order is illegal but another order works: T1 commits last
+     yet must serialize first. T1: reads x=0 writes y=1. T2: writes x=1,
+     reads y=0. Concurrent. Commit order (by last): T2 then T1 -> T1 reads
+     x=1? illegal. Order T1 then T2: T1 reads x=0 ok writes y=1, T2 reads
+     y=0? illegal. Hmm — use disjoint enough ops: T1 reads x=0 (before T2's
+     write takes effect), T2 reads nothing. Order must be T1 before T2
+     although T2 commits first. *)
+  let t1 =
+    tx 1 ~first:0 ~last:50 ~status:History.Committed [ read 0 0; commit ]
+  in
+  let t2 =
+    tx 2 ~pid:1 ~first:5 ~last:20 ~status:History.Committed
+      [ write 0 3; commit ]
+  in
+  check_ok "dfs rescues" (Checker.strictly_serializable (h [ t1; t2 ]))
+
+let test_legal_order () =
+  let t1 = tx 1 ~first:0 ~last:10 ~status:History.Committed [ write 0 1; commit ] in
+  let t2 = tx 2 ~first:20 ~last:30 ~status:History.Committed [ read 0 1; commit ] in
+  let hh = h [ t1; t2 ] in
+  (match Checker.legal_order hh [ 1; 2 ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "legal order rejected: %s" e);
+  (match Checker.legal_order hh [ 2; 1 ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "illegal order accepted");
+  match Checker.legal_order hh [ 1; 99 ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown tx accepted"
+
+let test_witness_is_legal () =
+  let t1 =
+    tx 1 ~first:0 ~last:30 ~status:History.Committed [ write 0 1; commit ]
+  in
+  let t2 =
+    tx 2 ~pid:1 ~first:5 ~last:25 ~status:History.Committed [ read 0 0; commit ]
+  in
+  let hh = h [ t1; t2 ] in
+  match Checker.strictly_serializable hh with
+  | Checker.Serializable w -> (
+      match Checker.legal_order hh w with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "witness not legal: %s" e)
+  | v -> Alcotest.failf "expected serializable, got %a" Checker.pp_verdict v
+
+(* The aborted-transaction insertion pass is a heuristic against one
+   committed backbone; when the fast-path backbone cannot host the aborted
+   transaction but another committed order can, the exact search must
+   rescue. T1 (writes x=1,y=1) and T2 (writes x=2) are concurrent; the
+   fast-path order T1;T2 yields states {}, {x1,y1}, {x2,y1} — none hosts
+   aborted T3's view (x=2, y=0) — but the order T2;T1 does. *)
+let test_opacity_backbone_fallback () =
+  let t1 =
+    tx 1 ~first:0 ~last:10 ~status:History.Committed
+      [ write 0 1; write 1 1; commit ]
+  in
+  let t2 =
+    tx 2 ~pid:1 ~first:5 ~last:20 ~status:History.Committed
+      [ write 0 2; commit ]
+  in
+  let t3 =
+    tx 3 ~pid:2 ~first:1 ~last:30 ~status:History.Aborted
+      [ read 0 2; read 1 0; abort_commit ]
+  in
+  let hh = h [ t1; t2; t3 ] in
+  (match Checker.opaque hh with
+  | Checker.Serializable w -> (
+      (* the witness must place T2 before T1 with T3 in between *)
+      match Checker.legal_order hh w with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "fallback witness illegal: %s" e)
+  | v -> Alcotest.failf "fallback: %a" Checker.pp_verdict v);
+  (* and with the exact search disabled, the checker must stay honest *)
+  match Checker.opaque ~dfs_limit:1 hh with
+  | Checker.Dont_know _ -> ()
+  | Checker.Serializable _ ->
+      () (* acceptable: the insertion pass may succeed on another backbone *)
+  | Checker.Not_serializable m ->
+      Alcotest.failf "must not report false violation: %s" m
+
+(* -------------------------------------------------------------- *)
+(* Classic anomaly gallery                                          *)
+(* -------------------------------------------------------------- *)
+
+let test_write_skew () =
+  (* snapshot isolation's signature anomaly: both read the other's object's
+     old value, both write — no serial order explains it *)
+  let t1 =
+    tx 1 ~first:0 ~last:50 ~status:History.Committed
+      [ read 0 0; write 1 1; commit ]
+  in
+  let t2 =
+    tx 2 ~pid:1 ~first:5 ~last:55 ~status:History.Committed
+      [ read 1 0; write 0 2; commit ]
+  in
+  check_bad "write skew" (Checker.strictly_serializable (h [ t1; t2 ]))
+
+let test_non_repeatable_read () =
+  (* one transaction observes two different values of the same object *)
+  let t1 =
+    tx 1 ~first:0 ~last:60 ~status:History.Committed
+      [ read 0 0; read 0 1; commit ]
+  in
+  let t2 =
+    tx 2 ~pid:1 ~first:10 ~last:20 ~status:History.Committed
+      [ write 0 1; commit ]
+  in
+  check_bad "non-repeatable read" (Checker.strictly_serializable (h [ t1; t2 ]))
+
+let test_fractured_read () =
+  (* a committed reader sees half of a committed writer's update *)
+  let t1 =
+    tx 1 ~first:10 ~last:20 ~status:History.Committed
+      [ write 0 1; write 1 1; commit ]
+  in
+  let t2 =
+    tx 2 ~pid:1 ~first:0 ~last:60 ~status:History.Committed
+      [ read 0 1; read 1 0; commit ]
+  in
+  check_bad "fractured read" (Checker.strictly_serializable (h [ t1; t2 ]))
+
+let test_serial_chain () =
+  (* a long dependency chain in real-time order: exercises the fast path *)
+  let txs =
+    List.init 6 (fun k ->
+        tx (k + 1)
+          ~first:(k * 10)
+          ~last:((k * 10) + 5)
+          ~status:History.Committed
+          [ read 0 k; write 0 (k + 1); commit ])
+  in
+  match Checker.strictly_serializable (h txs) with
+  | Checker.Serializable w ->
+      Alcotest.(check (list int)) "chain order" [ 1; 2; 3; 4; 5; 6 ] w
+  | v -> Alcotest.failf "chain: %a" Checker.pp_verdict v
+
+let test_too_many_pending () =
+  (* more than 6 commit-pending live transactions: Dont_know, not a wrong
+     answer *)
+  let txs =
+    List.init 7 (fun k ->
+        tx (k + 1) ~pid:k ~first:0 ~last:100 ~status:History.Live
+          [ write k 1; (History.Try_commit, None) ])
+  in
+  match Checker.strictly_serializable (h txs) with
+  | Checker.Dont_know _ -> ()
+  | v -> Alcotest.failf "pending: %a" Checker.pp_verdict v
+
+let test_dfs_limit_inconclusive () =
+  (* a reorder that needs the exact search, with the search disabled *)
+  let t1 =
+    tx 1 ~first:0 ~last:50 ~status:History.Committed [ read 0 0; commit ]
+  in
+  let t2 =
+    tx 2 ~pid:1 ~first:5 ~last:20 ~status:History.Committed
+      [ write 0 3; commit ]
+  in
+  match Checker.strictly_serializable ~dfs_limit:1 (h [ t1; t2 ]) with
+  | Checker.Dont_know _ -> ()
+  | v -> Alcotest.failf "limit: %a" Checker.pp_verdict v
+
+let test_aborted_read_no_constraint () =
+  (* a read that returned A_k imposes no legality constraint *)
+  let t1 =
+    tx 1 ~first:0 ~last:10 ~status:History.Aborted
+      [ (History.Read 0, Some History.RAbort) ]
+  in
+  let t2 =
+    tx 2 ~first:20 ~last:30 ~status:History.Committed [ read 0 0; commit ]
+  in
+  check_ok "aborted read free" (Checker.opaque (h [ t1; t2 ]))
+
+(* -------------------------------------------------------------- *)
+(* Prefix-closed opacity on traces                                  *)
+(* -------------------------------------------------------------- *)
+
+let build instrs =
+  let tr = Ptm_machine.Trace.create () in
+  List.iter
+    (fun i ->
+      match i with
+      | `Inv (pid, txi, op) ->
+          Ptm_machine.Trace.add_note tr ~pid (History.Tx_inv { pid; tx = txi; op })
+      | `Res (pid, txi, op, res) ->
+          Ptm_machine.Trace.add_note tr ~pid
+            (History.Tx_res { pid; tx = txi; op; res }))
+    instrs;
+  tr
+
+let test_prefix_closed_dirty_read () =
+  (* T2 reads T1's value while T1 is still live; T1 later commits. The final
+     history is (final-state) opaque, but the prefix before T1's commit is
+     not: T1's write cannot be effective there, so T2's read of 1 is
+     illegal. This is the classical separation between final-state opacity
+     and opacity. *)
+  let tr =
+    build
+      [
+        `Inv (0, 1, History.Write (0, 1));
+        `Res (0, 1, History.Write (0, 1), History.ROk);
+        `Inv (1, 2, History.Read 0);
+        `Res (1, 2, History.Read 0, History.RVal 1) (* dirty read *);
+        `Inv (1, 2, History.Try_commit);
+        `Res (1, 2, History.Try_commit, History.RCommit);
+        `Inv (0, 1, History.Try_commit);
+        `Res (0, 1, History.Try_commit, History.RCommit);
+      ]
+  in
+  let h = History.of_trace tr in
+  check_ok "final state is opaque" (Checker.opaque h);
+  check_bad "but not prefix-closed" (Checker.opaque_prefix_closed tr)
+
+let test_prefix_closed_clean_history () =
+  (* a well-behaved interleaving passes both *)
+  let tr =
+    build
+      [
+        `Inv (0, 1, History.Write (0, 1));
+        `Res (0, 1, History.Write (0, 1), History.ROk);
+        `Inv (0, 1, History.Try_commit);
+        `Res (0, 1, History.Try_commit, History.RCommit);
+        `Inv (1, 2, History.Read 0);
+        `Res (1, 2, History.Read 0, History.RVal 1);
+        `Inv (1, 2, History.Try_commit);
+        `Res (1, 2, History.Try_commit, History.RCommit);
+      ]
+  in
+  check_ok "prefix-closed" (Checker.opaque_prefix_closed tr)
+
+let test_prefix_closed_empty () =
+  check_ok "empty trace" (Checker.opaque_prefix_closed (Ptm_machine.Trace.create ()))
+
+let () =
+  Alcotest.run "checker"
+    [
+      ( "strict-serializability",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "serial write-read" `Quick test_serial_write_read;
+          Alcotest.test_case "stale read violates RT" `Quick
+            test_stale_read_violates_rt;
+          Alcotest.test_case "concurrent reorder ok" `Quick
+            test_reorder_when_concurrent;
+          Alcotest.test_case "lost update" `Quick test_lost_update;
+          Alcotest.test_case "read your writes" `Quick test_read_your_writes;
+          Alcotest.test_case "aborted writes invisible" `Quick
+            test_aborted_invisible;
+          Alcotest.test_case "commit-pending completion" `Quick
+            test_commit_pending_completion;
+          Alcotest.test_case "live without tryC" `Quick
+            test_live_without_tryc_cannot_commit;
+          Alcotest.test_case "three-way cycle" `Quick test_three_way_cycle;
+          Alcotest.test_case "dfs beyond fast path" `Quick
+            test_fast_path_insufficient;
+        ] );
+      ( "opacity",
+        [
+          Alcotest.test_case "opacity stricter" `Quick
+            test_opacity_stricter_than_strict_ser;
+        ] );
+      ( "witness",
+        [
+          Alcotest.test_case "legal_order" `Quick test_legal_order;
+          Alcotest.test_case "witness validates" `Quick test_witness_is_legal;
+        ] );
+      ( "backbone-fallback",
+        [
+          Alcotest.test_case "dfs rescues insertion" `Quick
+            test_opacity_backbone_fallback;
+        ] );
+      ( "anomalies",
+        [
+          Alcotest.test_case "write skew" `Quick test_write_skew;
+          Alcotest.test_case "non-repeatable read" `Quick
+            test_non_repeatable_read;
+          Alcotest.test_case "fractured read" `Quick test_fractured_read;
+          Alcotest.test_case "serial chain" `Quick test_serial_chain;
+          Alcotest.test_case "too many pending" `Quick test_too_many_pending;
+          Alcotest.test_case "dfs limit inconclusive" `Quick
+            test_dfs_limit_inconclusive;
+          Alcotest.test_case "aborted read free" `Quick
+            test_aborted_read_no_constraint;
+        ] );
+      ( "prefix-closed",
+        [
+          Alcotest.test_case "dirty read separates" `Quick
+            test_prefix_closed_dirty_read;
+          Alcotest.test_case "clean history passes" `Quick
+            test_prefix_closed_clean_history;
+          Alcotest.test_case "empty" `Quick test_prefix_closed_empty;
+        ] );
+    ]

@@ -1,0 +1,124 @@
+(* Tests for the least-squares shape fitting, and the headline shape
+   assertions: each algorithm's measured growth must fit the curve its
+   theory predicts, with high R². *)
+
+open Ptm_core
+open Ptm_bounds
+
+let points_of g xs = List.map (fun x -> (x, g x)) xs
+
+let test_fit_exact () =
+  let xs = [ 2.; 4.; 8.; 16.; 32. ] in
+  let c, r2 = Fit.fit_one (fun x -> x *. x) (points_of (fun x -> 3. *. x *. x) xs) in
+  Alcotest.(check bool) "coeff" true (abs_float (c -. 3.) < 1e-9);
+  Alcotest.(check bool) "r2 = 1" true (r2 > 0.999999)
+
+let test_fit_selects_right_shape () =
+  let xs = [ 2.; 4.; 8.; 16.; 32.; 64. ] in
+  let quad = Fit.best ~candidates:Fit.shapes_m (points_of (fun x -> (0.5 *. x *. x) +. x) xs) in
+  Alcotest.(check string) "quadratic" "m^2" quad.Fit.shape;
+  let lin = Fit.best ~candidates:Fit.shapes_m (points_of (fun x -> (3. *. x) +. 1.) xs) in
+  Alcotest.(check string) "linear" "m" lin.Fit.shape;
+  let nlogn =
+    Fit.best ~candidates:Fit.shapes_n
+      (points_of (fun x -> 5. *. x *. (log x /. log 2.)) xs)
+  in
+  Alcotest.(check string) "nlogn" "n log n" nlogn.Fit.shape
+
+let test_fit_degenerate () =
+  Alcotest.check_raises "no points" (Invalid_argument "Fit.fit_one: no points")
+    (fun () -> ignore (Fit.fit_one (fun x -> x) []));
+  (* constant data: r2 defined, coeff finite *)
+  let c, _ = Fit.fit_one (fun _ -> 0.) [ (1., 5.); (2., 5.) ] in
+  Alcotest.(check bool) "zero basis" true (c = 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Headline shapes from actual measurements                            *)
+(* ------------------------------------------------------------------ *)
+
+let tightness_points tm =
+  List.map
+    (fun m ->
+      ( float_of_int m,
+        float_of_int (Tightness.read_only_cost tm ~m).Tightness.total ))
+    [ 8; 16; 32; 64; 128 ]
+
+let check_shape name expected fit =
+  Alcotest.(check string) (name ^ " shape") expected fit.Fit.shape;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s R2 %.4f high" name fit.Fit.r2)
+    true (fit.Fit.r2 > 0.98)
+
+let test_shapes_tightness () =
+  check_shape "dstm" "m^2"
+    (Fit.best ~candidates:Fit.shapes_m
+       (tightness_points (module Ptm_tms.Dstm)));
+  check_shape "undolog" "m^2"
+    (Fit.best ~candidates:Fit.shapes_m
+       (tightness_points (module Ptm_tms.Undolog)));
+  check_shape "tl2" "m"
+    (Fit.best ~candidates:Fit.shapes_m (tightness_points (module Ptm_tms.Tl2)));
+  check_shape "mvtm" "m"
+    (Fit.best ~candidates:Fit.shapes_m (tightness_points (module Ptm_tms.Mvtm)));
+  check_shape "visread" "m"
+    (Fit.best ~candidates:Fit.shapes_m
+       (tightness_points (module Ptm_tms.Visread)))
+
+let rmr_points lock model ns =
+  let rows = Theorem9.sweep ~locks:[ lock ] ~ns ~rounds:2 () in
+  List.map
+    (fun r ->
+      (float_of_int r.Theorem9.n, float_of_int (List.assoc model r.Theorem9.rmr)))
+    rows
+
+let ns = [ 2; 4; 8; 16; 32; 64 ]
+
+let test_shapes_rmr () =
+  let open Ptm_machine.Rmr in
+  (* MCS: linear in both models (local spin everywhere) *)
+  check_shape "mcs dsm" "n"
+    (Fit.best ~candidates:Fit.shapes_n
+       (rmr_points (module Ptm_mutex.Mcs) Dsm ns));
+  check_shape "mcs wb" "n"
+    (Fit.best ~candidates:Fit.shapes_n
+       (rmr_points (module Ptm_mutex.Mcs) Cc_write_back ns));
+  (* CLH: linear in CC, quadratic in DSM — the classic asymmetry *)
+  check_shape "clh wb" "n"
+    (Fit.best ~candidates:Fit.shapes_n
+       (rmr_points (module Ptm_mutex.Clh) Cc_write_back ns));
+  check_shape "clh dsm" "n^2"
+    (Fit.best ~candidates:Fit.shapes_n
+       (rmr_points (module Ptm_mutex.Clh) Dsm ns));
+  (* Yang–Anderson: n log n in both models, read/write only *)
+  check_shape "ya dsm" "n log n"
+    (Fit.best ~candidates:Fit.shapes_n
+       (rmr_points (module Ptm_mutex.Yang_anderson) Dsm ns));
+  (* TAS: quadratic *)
+  check_shape "tas wb" "n^2"
+    (Fit.best ~candidates:Fit.shapes_n
+       (rmr_points (module Ptm_mutex.Tas) Cc_write_back ns));
+  (* Algorithm 1 over the CAS TM: at least n log n (here: n^2) *)
+  let lm =
+    Fit.best ~candidates:Fit.shapes_n
+      (rmr_points (module Ptm_mutex.Mutex_registry.Tm_oneshot) Cc_write_back ns)
+  in
+  Alcotest.(check bool)
+    "L(M) grows superlinearly" true
+    (lm.Fit.shape = "n^2" || lm.Fit.shape = "n log n")
+
+let () =
+  Alcotest.run "fit"
+    [
+      ( "least-squares",
+        [
+          Alcotest.test_case "exact" `Quick test_fit_exact;
+          Alcotest.test_case "shape selection" `Quick
+            test_fit_selects_right_shape;
+          Alcotest.test_case "degenerate" `Quick test_fit_degenerate;
+        ] );
+      ( "measured-shapes",
+        [
+          Alcotest.test_case "tightness" `Quick test_shapes_tightness;
+          Alcotest.test_case "rmr" `Slow test_shapes_rmr;
+        ] );
+    ]

@@ -1,0 +1,239 @@
+(* Tests for history extraction from traces: transaction records, data sets,
+   real-time order, conflicts, spans. *)
+
+open Ptm_machine
+open Ptm_core
+
+(* Build a trace by hand from note/mem instructions. *)
+let build instrs =
+  let tr = Trace.create () in
+  List.iter
+    (fun i ->
+      match i with
+      | `Inv (pid, tx, op) -> Trace.add_note tr ~pid (History.Tx_inv { pid; tx; op })
+      | `Res (pid, tx, op, res) ->
+          Trace.add_note tr ~pid (History.Tx_res { pid; tx; op; res })
+      | `Mem (pid, addr, prim) ->
+          Trace.add_mem tr ~pid ~addr prim Value.Unit false)
+    instrs;
+  tr
+
+let read x = History.Read x
+let write x v = History.Write (x, v)
+
+(* A complete committed transaction's instructions. *)
+let tx_ops pid tx ops =
+  List.concat_map
+    (fun (op, res) -> [ `Inv (pid, tx, op); `Res (pid, tx, op, res) ])
+    ops
+  @ [
+      `Inv (pid, tx, History.Try_commit);
+      `Res (pid, tx, History.Try_commit, History.RCommit);
+    ]
+
+let test_single_committed () =
+  let tr = build (tx_ops 0 1 [ (read 0, History.RVal 0); (write 1 5, History.ROk) ]) in
+  let h = History.of_trace tr in
+  Alcotest.(check int) "one tx" 1 (List.length h.History.txns);
+  let t = History.find h 1 in
+  Alcotest.(check bool) "committed" true (t.History.status = History.Committed);
+  Alcotest.(check (list int)) "rset" [ 0 ] (History.rset t);
+  Alcotest.(check (list int)) "wset" [ 1 ] (History.wset t);
+  Alcotest.(check (list int)) "dset" [ 0; 1 ] (History.dset t);
+  Alcotest.(check (list (pair int int))) "writes" [ (1, 5) ] (History.writes t);
+  Alcotest.(check bool) "updating" true (History.updating t);
+  Alcotest.(check int) "nobjs" 2 h.History.nobjs
+
+let test_aborted_and_live () =
+  let tr =
+    build
+      ([
+         `Inv (0, 1, read 0);
+         `Res (0, 1, read 0, History.RAbort);
+         `Inv (1, 2, read 1);
+         `Res (1, 2, read 1, History.RVal 0);
+         `Inv (1, 2, History.Try_commit);
+       ])
+  in
+  let h = History.of_trace tr in
+  let t1 = History.find h 1 and t2 = History.find h 2 in
+  Alcotest.(check bool) "t1 aborted" true (t1.History.status = History.Aborted);
+  Alcotest.(check bool) "t2 live" true (t2.History.status = History.Live);
+  Alcotest.(check bool) "t1 complete" true (History.t_complete t1);
+  Alcotest.(check bool) "t2 incomplete" false (History.t_complete t2);
+  (* aborted read still joins the read set *)
+  Alcotest.(check (list int)) "t1 rset" [ 0 ] (History.rset t1)
+
+let test_real_time_order () =
+  let tr =
+    build
+      (tx_ops 0 1 [ (write 0 1, History.ROk) ]
+      @ tx_ops 1 2 [ (read 0, History.RVal 1) ])
+  in
+  let h = History.of_trace tr in
+  let t1 = History.find h 1 and t2 = History.find h 2 in
+  Alcotest.(check bool) "t1 < t2" true (History.precedes t1 t2);
+  Alcotest.(check bool) "not t2 < t1" false (History.precedes t2 t1);
+  Alcotest.(check bool) "not concurrent" false (History.concurrent t1 t2)
+
+let test_concurrent_and_conflict () =
+  let tr =
+    build
+      [
+        `Inv (0, 1, read 0);
+        `Inv (1, 2, write 0 7);
+        `Res (0, 1, read 0, History.RVal 0);
+        `Res (1, 2, write 0 7, History.ROk);
+        `Inv (0, 1, History.Try_commit);
+        `Res (0, 1, History.Try_commit, History.RCommit);
+        `Inv (1, 2, History.Try_commit);
+        `Res (1, 2, History.Try_commit, History.RCommit);
+      ]
+  in
+  let h = History.of_trace tr in
+  let t1 = History.find h 1 and t2 = History.find h 2 in
+  Alcotest.(check bool) "concurrent" true (History.concurrent t1 t2);
+  Alcotest.(check bool) "conflict" true (History.conflict t1 t2);
+  Alcotest.(check bool) "conflict symmetric" true (History.conflict t2 t1)
+
+let test_no_conflict_readers () =
+  let tr =
+    build
+      [
+        `Inv (0, 1, read 0);
+        `Inv (1, 2, read 0);
+        `Res (0, 1, read 0, History.RVal 0);
+        `Res (1, 2, read 0, History.RVal 0);
+      ]
+  in
+  let h = History.of_trace tr in
+  let t1 = History.find h 1 and t2 = History.find h 2 in
+  Alcotest.(check bool) "two readers don't conflict" false
+    (History.conflict t1 t2)
+
+let test_last_write_wins () =
+  let tr =
+    build
+      (tx_ops 0 1
+         [ (write 0 1, History.ROk); (write 0 2, History.ROk) ])
+  in
+  let h = History.of_trace tr in
+  let t = History.find h 1 in
+  Alcotest.(check (list (pair int int))) "last wins" [ (0, 2) ] (History.writes t)
+
+let test_spans () =
+  let tr =
+    build
+      [
+        `Inv (0, 1, read 0);
+        `Mem (0, 10, Primitive.Read);
+        `Mem (1, 11, Primitive.Read) (* other process: not attributed to T1 *);
+        `Mem (0, 12, Primitive.Read);
+        `Res (0, 1, read 0, History.RVal 0);
+        `Inv (0, 1, History.Try_commit);
+        `Res (0, 1, History.Try_commit, History.RCommit);
+      ]
+  in
+  let spans = History.spans tr in
+  Alcotest.(check int) "two spans" 2 (List.length spans);
+  let s = List.hd spans in
+  Alcotest.(check int) "tx" 1 s.History.s_tx;
+  Alcotest.(check int) "two events" 2 (List.length s.History.s_events);
+  Alcotest.(check (list int))
+    "event addrs" [ 10; 12 ]
+    (List.map (fun (e : Trace.mem_event) -> e.Trace.addr) s.History.s_events);
+  let commit_span = List.nth spans 1 in
+  Alcotest.(check int) "commit span empty" 0
+    (List.length commit_span.History.s_events)
+
+let test_pending_span () =
+  let tr = build [ `Inv (0, 1, read 0); `Mem (0, 10, Primitive.Read) ] in
+  let spans = History.spans tr in
+  Alcotest.(check int) "one span" 1 (List.length spans);
+  let s = List.hd spans in
+  Alcotest.(check int) "open end" max_int s.History.s_end;
+  Alcotest.(check int) "event counted" 1 (List.length s.History.s_events)
+
+let test_tx_events () =
+  let tr =
+    build
+      [
+        `Inv (0, 1, read 0);
+        `Mem (0, 10, Primitive.Read);
+        `Res (0, 1, read 0, History.RVal 0);
+        `Inv (0, 1, read 1);
+        `Mem (0, 11, Primitive.Read);
+        `Res (0, 1, read 1, History.RVal 0);
+      ]
+  in
+  Alcotest.(check int) "both ops' events" 2
+    (List.length (History.tx_events tr 1))
+
+(* ------------------------------------------------------------------ *)
+(* Timeline rendering                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeline_plain () =
+  let tr =
+    build
+      [
+        `Inv (0, 1, read 0);
+        `Mem (0, 10, Primitive.Read);
+        `Mem (1, 11, Primitive.Read);
+        `Res (0, 1, read 0, History.RVal 0);
+        `Inv (0, 1, History.Try_commit);
+        `Res (0, 1, History.Try_commit, History.RCommit);
+      ]
+  in
+  let out = Fmt.str "%a" (fun ppf tr -> Timeline.pp ppf tr) tr in
+  let contains needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "p0 lane" true (contains "p0 (r.)(C" out);
+  Alcotest.(check bool) "p1 lane" true (contains "p1 ..r..." out)
+
+let test_timeline_wraps () =
+  let tr = Ptm_machine.Trace.create () in
+  for _ = 1 to 100 do
+    Ptm_machine.Trace.add_mem tr ~pid:0 ~addr:0 Primitive.Read Value.Unit false
+  done;
+  let out = Fmt.str "%a" (fun ppf tr -> Timeline.pp ~width:40 ppf tr) tr in
+  let chunk_headers =
+    List.length
+      (List.filter
+         (fun line -> String.length line >= 2 && String.sub line 0 2 = "t=")
+         (String.split_on_char '\n' out))
+  in
+  Alcotest.(check int) "three chunks" 3 chunk_headers
+
+let () =
+  Alcotest.run "history"
+    [
+      ( "extraction",
+        [
+          Alcotest.test_case "single committed" `Quick test_single_committed;
+          Alcotest.test_case "aborted and live" `Quick test_aborted_and_live;
+          Alcotest.test_case "last write wins" `Quick test_last_write_wins;
+        ] );
+      ( "orders",
+        [
+          Alcotest.test_case "real-time order" `Quick test_real_time_order;
+          Alcotest.test_case "concurrent conflict" `Quick
+            test_concurrent_and_conflict;
+          Alcotest.test_case "readers don't conflict" `Quick
+            test_no_conflict_readers;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "attribution" `Quick test_spans;
+          Alcotest.test_case "pending span" `Quick test_pending_span;
+          Alcotest.test_case "tx events" `Quick test_tx_events;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "lanes" `Quick test_timeline_plain;
+          Alcotest.test_case "wraps" `Quick test_timeline_wraps;
+        ] );
+    ]

@@ -1,0 +1,150 @@
+(* Tests for every mutual exclusion implementation: mutual exclusion,
+   deadlock-freedom (completion within the step budget), finite exit, and
+   RMR sanity under both schedules and many seeds. *)
+
+open Ptm_machine
+open Ptm_mutex
+
+let seeds = [ 1; 2; 3; 4; 5; 7; 11; 13; 17; 23 ]
+
+let run_ok (module L : Mutex_intf.S) ~nprocs ~rounds ~schedule =
+  try Harness.run (module L) ~nprocs ~rounds ~schedule ()
+  with
+  | Harness.Mutual_exclusion_violation msg ->
+      Alcotest.failf "%s (n=%d): mutual exclusion violated: %s" L.name nprocs msg
+  | Sched.Out_of_steps ->
+      Alcotest.failf "%s (n=%d): no progress within step budget" L.name nprocs
+
+let test_solo (module L : Mutex_intf.S) () =
+  let r = run_ok (module L) ~nprocs:1 ~rounds:5 ~schedule:`Round_robin in
+  Alcotest.(check int) "one process" 1 r.Harness.nprocs
+
+let test_round_robin (module L : Mutex_intf.S) () =
+  List.iter
+    (fun nprocs ->
+      ignore (run_ok (module L) ~nprocs ~rounds:3 ~schedule:`Round_robin))
+    [ 2; 3; 4; 8 ]
+
+let test_random_schedules (module L : Mutex_intf.S) () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun nprocs ->
+          ignore
+            (run_ok (module L) ~nprocs ~rounds:2 ~schedule:(`Random seed)))
+        [ 2; 3; 5 ])
+    seeds
+
+(* Finite exit: with the lock held and no contention, exit completes in a
+   bounded number of own steps. *)
+let test_finite_exit (module L : Mutex_intf.S) () =
+  let machine = Machine.create ~nprocs:2 in
+  let lock = L.create machine ~nprocs:2 in
+  Machine.spawn machine 0 (fun () ->
+      L.enter lock ~pid:0;
+      Proc.pause ();
+      L.exit_cs lock ~pid:0);
+  (match Sched.solo machine 0 with
+  | `Paused -> ()
+  | `Done -> Alcotest.fail "expected pause inside CS");
+  let before = Machine.steps_of machine 0 in
+  (match Sched.solo ~max_steps:10_000 machine 0 with
+  | `Done -> ()
+  | `Paused -> Alcotest.fail "unexpected pause");
+  let exit_steps = Machine.steps_of machine 0 - before in
+  Alcotest.(check bool)
+    (Printf.sprintf "exit steps %d bounded" exit_steps)
+    true (exit_steps <= 64)
+
+let mutex_suites =
+  List.map
+    (fun (module L : Mutex_intf.S) ->
+      ( "mutex:" ^ L.name,
+        [
+          Alcotest.test_case "solo" `Quick (test_solo (module L));
+          Alcotest.test_case "round robin" `Quick (test_round_robin (module L));
+          Alcotest.test_case "random schedules" `Quick
+            (test_random_schedules (module L));
+          Alcotest.test_case "finite exit" `Quick (test_finite_exit (module L));
+        ] ))
+    Mutex_registry.all
+
+(* ------------------------------------------------------------------ *)
+(* RMR sanity: local-spin locks do not blow up; MCS is O(1)/passage in *)
+(* DSM; the TAS family is the CC worst case.                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_mcs_dsm_constant () =
+  (* MCS in DSM: O(1) RMR per passage, so total linear in acquisitions. *)
+  List.iter
+    (fun nprocs ->
+      let r = run_ok (module Mcs) ~nprocs ~rounds:2 ~schedule:`Round_robin in
+      let total = Harness.rmr_of r Rmr.Dsm in
+      let acq = nprocs * 2 in
+      Alcotest.(check bool)
+        (Printf.sprintf "mcs dsm n=%d: %d <= 8*%d" nprocs total acq)
+        true
+        (total <= 8 * acq))
+    [ 2; 4; 8; 16 ]
+
+let test_yang_anderson_dsm_logn () =
+  List.iter
+    (fun nprocs ->
+      let r =
+        run_ok (module Yang_anderson) ~nprocs ~rounds:2 ~schedule:`Round_robin
+      in
+      let total = Harness.rmr_of r Rmr.Dsm in
+      let acq = nprocs * 2 in
+      let logn =
+        int_of_float (ceil (log (float_of_int nprocs) /. log 2.)) + 1
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "ya dsm n=%d: %d <= 16*%d*%d" nprocs total acq logn)
+        true
+        (total <= 16 * acq * logn))
+    [ 2; 4; 8; 16 ]
+
+let test_tas_worse_than_mcs_cc () =
+  (* Under heavy interleaving, TAS incurs far more CC RMRs than MCS. *)
+  let tas = run_ok (module Tas) ~nprocs:8 ~rounds:3 ~schedule:(`Random 5) in
+  let mcs = run_ok (module Mcs) ~nprocs:8 ~rounds:3 ~schedule:(`Random 5) in
+  let t = Harness.rmr_of tas Rmr.Cc_write_back in
+  let m = Harness.rmr_of mcs Rmr.Cc_write_back in
+  Alcotest.(check bool)
+    (Printf.sprintf "tas %d > mcs %d" t m)
+    true (t > m)
+
+(* A deliberately broken lock must be caught by the harness. *)
+module Broken : Mutex_intf.S = struct
+  let name = "broken"
+
+  type t = unit
+
+  let create _ ~nprocs:_ = ()
+  let enter () ~pid:_ = ()
+  let exit_cs () ~pid:_ = ()
+end
+
+let test_harness_catches_violation () =
+  match Harness.run (module Broken) ~nprocs:4 ~rounds:3 ~schedule:(`Random 1) () with
+  | exception Harness.Mutual_exclusion_violation _ -> ()
+  | _r -> Alcotest.fail "broken lock passed the harness"
+
+let () =
+  Alcotest.run "mutex"
+    (mutex_suites
+    @ [
+        ( "rmr-shape",
+          [
+            Alcotest.test_case "mcs dsm constant" `Quick test_mcs_dsm_constant;
+            Alcotest.test_case "yang-anderson dsm log n" `Quick
+              test_yang_anderson_dsm_logn;
+            Alcotest.test_case "tas worse than mcs" `Quick
+              test_tas_worse_than_mcs_cc;
+          ] );
+        ( "harness",
+          [
+            Alcotest.test_case "catches violations" `Quick
+              test_harness_catches_violation;
+          ] );
+      ])

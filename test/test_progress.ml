@@ -1,0 +1,325 @@
+(* Tests for progressiveness / strong progressiveness / DAP / invisibility
+   checkers on hand-built histories and traces. *)
+
+open Ptm_machine
+open Ptm_core
+
+let tx ?(pid = 0) id ~first ~last ~status ops =
+  { History.id; pid; ops; first; last; status }
+
+let h txns = { History.txns; nobjs = 8 }
+
+let read x v = (History.Read x, Some (History.RVal v))
+let write x v = (History.Write (x, v), Some History.ROk)
+let commit = (History.Try_commit, Some History.RCommit)
+let abort_commit = (History.Try_commit, Some History.RAbort)
+
+let ok = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unexpected violation: %s" e
+
+let bad = function
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected a violation"
+
+(* -------------------------------------------------------------- *)
+(* sequential TM-progress                                          *)
+(* -------------------------------------------------------------- *)
+
+let test_sequential_ok () =
+  let t1 = tx 1 ~first:0 ~last:10 ~status:History.Committed [ write 0 1; commit ] in
+  let t2 = tx 2 ~first:20 ~last:30 ~status:History.Committed [ read 0 1; commit ] in
+  ok (Progress.check_sequential (h [ t1; t2 ]))
+
+let test_sequential_abort_bad () =
+  let t1 = tx 1 ~first:0 ~last:10 ~status:History.Aborted [ read 0 0; abort_commit ] in
+  bad (Progress.check_sequential (h [ t1 ]))
+
+let test_sequential_vacuous_when_concurrent () =
+  (* concurrent histories impose no sequential-progress constraint *)
+  let t1 = tx 1 ~first:0 ~last:30 ~status:History.Aborted [ read 0 0; abort_commit ] in
+  let t2 =
+    tx 2 ~pid:1 ~first:5 ~last:25 ~status:History.Committed [ write 0 1; commit ]
+  in
+  ok (Progress.check_sequential (h [ t1; t2 ]))
+
+(* -------------------------------------------------------------- *)
+(* progressiveness                                                 *)
+(* -------------------------------------------------------------- *)
+
+let test_progressive_ok () =
+  (* abort justified by a concurrent conflicting writer *)
+  let t1 = tx 1 ~first:0 ~last:30 ~status:History.Aborted [ read 0 0; abort_commit ] in
+  let t2 =
+    tx 2 ~pid:1 ~first:5 ~last:25 ~status:History.Committed [ write 0 1; commit ]
+  in
+  ok (Progress.check_progressive (h [ t1; t2 ]))
+
+let test_progressive_spurious_abort () =
+  (* abort with a concurrent but non-conflicting transaction *)
+  let t1 = tx 1 ~first:0 ~last:30 ~status:History.Aborted [ read 0 0; abort_commit ] in
+  let t2 =
+    tx 2 ~pid:1 ~first:5 ~last:25 ~status:History.Committed [ write 1 1; commit ]
+  in
+  bad (Progress.check_progressive (h [ t1; t2 ]))
+
+let test_progressive_nonconcurrent_conflict () =
+  (* conflicting but not concurrent: abort is unjustified *)
+  let t1 = tx 1 ~first:0 ~last:10 ~status:History.Committed [ write 0 1; commit ] in
+  let t2 = tx 2 ~first:20 ~last:30 ~status:History.Aborted [ read 0 1; abort_commit ] in
+  bad (Progress.check_progressive (h [ t1; t2 ]))
+
+(* -------------------------------------------------------------- *)
+(* strong progressiveness                                          *)
+(* -------------------------------------------------------------- *)
+
+let test_strong_single_object_all_abort () =
+  (* two transactions conflicting on one object, both aborted: violation *)
+  let t1 =
+    tx 1 ~first:0 ~last:30 ~status:History.Aborted [ write 0 1; abort_commit ]
+  in
+  let t2 =
+    tx 2 ~pid:1 ~first:5 ~last:25 ~status:History.Aborted [ write 0 2; abort_commit ]
+  in
+  bad (Progress.check_strongly_progressive (h [ t1; t2 ]))
+
+let test_strong_single_object_one_commits () =
+  let t1 =
+    tx 1 ~first:0 ~last:30 ~status:History.Aborted [ write 0 1; abort_commit ]
+  in
+  let t2 =
+    tx 2 ~pid:1 ~first:5 ~last:25 ~status:History.Committed [ write 0 2; commit ]
+  in
+  ok (Progress.check_strongly_progressive (h [ t1; t2 ]))
+
+let test_strong_multi_object_all_abort_allowed () =
+  (* conflict class spanning two objects: strong progressiveness says
+     nothing, so all-abort is allowed (given each abort is progressive) *)
+  let t1 =
+    tx 1 ~first:0 ~last:30 ~status:History.Aborted
+      [ write 0 1; write 1 1; abort_commit ]
+  in
+  let t2 =
+    tx 2 ~pid:1 ~first:5 ~last:25 ~status:History.Aborted
+      [ write 1 2; write 0 2; abort_commit ]
+  in
+  ok (Progress.check_strongly_progressive (h [ t1; t2 ]))
+
+let test_conflict_components () =
+  let t1 = tx 1 ~first:0 ~last:30 ~status:History.Committed [ write 0 1; commit ] in
+  let t2 =
+    tx 2 ~pid:1 ~first:5 ~last:25 ~status:History.Committed [ read 0 1; commit ]
+  in
+  let t3 =
+    tx 3 ~pid:2 ~first:6 ~last:26 ~status:History.Committed [ write 5 9; commit ]
+  in
+  let comps = Progress.conflict_components (h [ t1; t2; t3 ]) in
+  Alcotest.(check int) "two components" 2 (List.length comps);
+  let sizes = List.sort compare (List.map List.length comps) in
+  Alcotest.(check (list int)) "sizes" [ 1; 2 ] sizes
+
+let test_cobj () =
+  let t1 = tx 1 ~first:0 ~last:30 ~status:History.Committed [ write 0 1; commit ] in
+  let t2 =
+    tx 2 ~pid:1 ~first:5 ~last:25 ~status:History.Committed [ read 0 1; read 1 0; commit ]
+  in
+  let hh = h [ t1; t2 ] in
+  Alcotest.(check (list int)) "conflict objects" [ 0 ] (Progress.cobj hh [ t1 ])
+
+(* -------------------------------------------------------------- *)
+(* invisibility + DAP on synthetic traces                          *)
+(* -------------------------------------------------------------- *)
+
+let build instrs =
+  let tr = Trace.create () in
+  List.iter
+    (fun i ->
+      match i with
+      | `Inv (pid, txi, op) ->
+          Trace.add_note tr ~pid (History.Tx_inv { pid; tx = txi; op })
+      | `Res (pid, txi, op, res) ->
+          Trace.add_note tr ~pid (History.Tx_res { pid; tx = txi; op; res })
+      | `Mem (pid, addr, prim) -> Trace.add_mem tr ~pid ~addr prim Value.Unit false)
+    instrs;
+  tr
+
+let ro_tx_trace ~prim =
+  build
+    [
+      `Inv (0, 1, History.Read 0);
+      `Mem (0, 10, prim);
+      `Res (0, 1, History.Read 0, History.RVal 0);
+      `Inv (0, 1, History.Try_commit);
+      `Res (0, 1, History.Try_commit, History.RCommit);
+    ]
+
+let test_invisible_strong () =
+  let tr = ro_tx_trace ~prim:Primitive.Read in
+  let hh = History.of_trace tr in
+  ok (Invisible.check_strong hh tr);
+  let tr' = ro_tx_trace ~prim:(Primitive.Write (Value.Int 1)) in
+  let hh' = History.of_trace tr' in
+  bad (Invisible.check_strong hh' tr')
+
+let test_invisible_weak () =
+  (* a non-concurrent transaction with a nontrivial read event violates weak
+     invisibility *)
+  let tr = ro_tx_trace ~prim:(Primitive.Write (Value.Int 1)) in
+  let hh = History.of_trace tr in
+  bad (Invisible.check_weak hh tr);
+  (* but the same is allowed if another transaction runs concurrently *)
+  let tr2 =
+    build
+      [
+        `Inv (0, 1, History.Read 0);
+        `Inv (1, 2, History.Read 1);
+        `Mem (0, 10, Primitive.Write (Value.Int 1));
+        `Res (0, 1, History.Read 0, History.RVal 0);
+        `Res (1, 2, History.Read 1, History.RVal 0);
+        `Inv (0, 1, History.Try_commit);
+        `Res (0, 1, History.Try_commit, History.RCommit);
+        `Inv (1, 2, History.Try_commit);
+        `Res (1, 2, History.Try_commit, History.RCommit);
+      ]
+  in
+  let hh2 = History.of_trace tr2 in
+  ok (Invisible.check_weak hh2 tr2)
+
+let test_read_steps () =
+  let tr =
+    build
+      [
+        `Inv (0, 1, History.Read 0);
+        `Mem (0, 10, Primitive.Read);
+        `Mem (0, 11, Primitive.Read);
+        `Res (0, 1, History.Read 0, History.RVal 0);
+        `Inv (0, 1, History.Try_commit);
+        `Mem (0, 12, Primitive.Read);
+        `Res (0, 1, History.Try_commit, History.RCommit);
+      ]
+  in
+  Alcotest.(check int) "read steps only" 2 (Invisible.read_steps tr ~tx:1)
+
+let test_dap_violation () =
+  (* two transactions with disjoint data sets touching the same base object,
+     one nontrivially *)
+  let tr =
+    build
+      [
+        `Inv (0, 1, History.Read 0);
+        `Inv (1, 2, History.Read 1);
+        `Mem (0, 10, Primitive.Read);
+        `Mem (1, 10, Primitive.Write (Value.Int 1));
+        `Res (0, 1, History.Read 0, History.RVal 0);
+        `Res (1, 2, History.Read 1, History.RVal 0);
+        `Inv (0, 1, History.Try_commit);
+        `Res (0, 1, History.Try_commit, History.RCommit);
+        `Inv (1, 2, History.Try_commit);
+        `Res (1, 2, History.Try_commit, History.RCommit);
+      ]
+  in
+  let hh = History.of_trace tr in
+  bad (Dap.check hh tr)
+
+let test_dap_shared_item_ok () =
+  (* same base-object contention is fine when the data sets intersect *)
+  let tr =
+    build
+      [
+        `Inv (0, 1, History.Read 0);
+        `Inv (1, 2, History.Write (0, 5));
+        `Mem (0, 10, Primitive.Read);
+        `Mem (1, 10, Primitive.Write (Value.Int 1));
+        `Res (0, 1, History.Read 0, History.RVal 0);
+        `Res (1, 2, History.Write (0, 5), History.ROk);
+        `Inv (0, 1, History.Try_commit);
+        `Res (0, 1, History.Try_commit, History.RCommit);
+        `Inv (1, 2, History.Try_commit);
+        `Res (1, 2, History.Try_commit, History.RCommit);
+      ]
+  in
+  let hh = History.of_trace tr in
+  ok (Dap.check hh tr)
+
+let test_dap_connected_via_third () =
+  (* T1 on X, T2 on Y, connected through a concurrent T3 accessing both: not
+     disjoint-access, so contention is allowed *)
+  let tr =
+    build
+      [
+        `Inv (0, 1, History.Read 0);
+        `Inv (1, 2, History.Read 1);
+        `Inv (2, 3, History.Read 0);
+        `Mem (0, 10, Primitive.Read);
+        `Mem (1, 10, Primitive.Write (Value.Int 1));
+        `Res (2, 3, History.Read 0, History.RVal 0);
+        `Inv (2, 3, History.Read 1);
+        `Res (2, 3, History.Read 1, History.RVal 0);
+        `Res (0, 1, History.Read 0, History.RVal 0);
+        `Res (1, 2, History.Read 1, History.RVal 0);
+      ]
+  in
+  let hh = History.of_trace tr in
+  let t1 = History.find hh 1 and t2 = History.find hh 2 in
+  Alcotest.(check bool) "not disjoint-access" false (Dap.disjoint_access hh t1 t2);
+  ok (Dap.check hh tr)
+
+let test_disjoint_access_basic () =
+  let t1 = tx 1 ~first:0 ~last:30 ~status:History.Committed [ read 0 0; commit ] in
+  let t2 =
+    tx 2 ~pid:1 ~first:5 ~last:25 ~status:History.Committed [ read 1 0; commit ]
+  in
+  let hh = h [ t1; t2 ] in
+  Alcotest.(check bool) "disjoint" true (Dap.disjoint_access hh t1 t2);
+  let t3 =
+    tx 3 ~pid:1 ~first:5 ~last:25 ~status:History.Committed [ read 0 0; commit ]
+  in
+  let hh2 = h [ t1; t3 ] in
+  Alcotest.(check bool) "shared item" false
+    (Dap.disjoint_access hh2 t1 (History.find hh2 3))
+
+let () =
+  Alcotest.run "progress"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "ok" `Quick test_sequential_ok;
+          Alcotest.test_case "abort bad" `Quick test_sequential_abort_bad;
+          Alcotest.test_case "vacuous when concurrent" `Quick
+            test_sequential_vacuous_when_concurrent;
+        ] );
+      ( "progressive",
+        [
+          Alcotest.test_case "justified abort" `Quick test_progressive_ok;
+          Alcotest.test_case "spurious abort" `Quick
+            test_progressive_spurious_abort;
+          Alcotest.test_case "non-concurrent conflict" `Quick
+            test_progressive_nonconcurrent_conflict;
+        ] );
+      ( "strongly-progressive",
+        [
+          Alcotest.test_case "single object all abort" `Quick
+            test_strong_single_object_all_abort;
+          Alcotest.test_case "single object one commits" `Quick
+            test_strong_single_object_one_commits;
+          Alcotest.test_case "multi object all abort ok" `Quick
+            test_strong_multi_object_all_abort_allowed;
+          Alcotest.test_case "components" `Quick test_conflict_components;
+          Alcotest.test_case "cobj" `Quick test_cobj;
+        ] );
+      ( "invisibility",
+        [
+          Alcotest.test_case "strong" `Quick test_invisible_strong;
+          Alcotest.test_case "weak" `Quick test_invisible_weak;
+          Alcotest.test_case "read steps" `Quick test_read_steps;
+        ] );
+      ( "dap",
+        [
+          Alcotest.test_case "violation" `Quick test_dap_violation;
+          Alcotest.test_case "shared item ok" `Quick test_dap_shared_item_ok;
+          Alcotest.test_case "connected via third" `Quick
+            test_dap_connected_via_third;
+          Alcotest.test_case "disjoint-access basic" `Quick
+            test_disjoint_access_basic;
+        ] );
+    ]

@@ -1,0 +1,371 @@
+(* Property-based tests (QCheck, registered as alcotest cases): random
+   workloads, random schedules, every TM — the paper's correctness and
+   progress properties must hold on every generated execution; plus
+   metamorphic properties of the machine, the checkers, and the RMR
+   accounting. *)
+
+open Ptm_machine
+open Ptm_core
+
+let count = 60 (* cases per property *)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type scenario = {
+  g_seed : int;
+  g_nprocs : int;
+  g_nobjs : int;
+  g_txs : int;
+  g_ops : int;
+  g_write_ratio : float;
+}
+
+let scenario_gen =
+  QCheck2.Gen.(
+    let* g_seed = int_range 0 1_000_000 in
+    let* g_nprocs = int_range 1 4 in
+    let* g_nobjs = int_range 1 5 in
+    let* g_txs = int_range 1 3 in
+    let* g_ops = int_range 1 4 in
+    let* wr = int_range 0 10 in
+    return
+      {
+        g_seed;
+        g_nprocs;
+        g_nobjs;
+        g_txs;
+        g_ops;
+        g_write_ratio = float_of_int wr /. 10.;
+      })
+
+let scenario_print s =
+  Printf.sprintf "{seed=%d procs=%d objs=%d txs=%d ops=%d wr=%.1f}" s.g_seed
+    s.g_nprocs s.g_nobjs s.g_txs s.g_ops s.g_write_ratio
+
+let run_scenario (module T : Tm_intf.S) s =
+  let w =
+    Workload.random ~seed:s.g_seed ~nprocs:s.g_nprocs ~nobjs:s.g_nobjs
+      ~txs_per_proc:s.g_txs ~ops_per_tx:s.g_ops ~write_ratio:s.g_write_ratio ()
+  in
+  Runner.run (module T) ~retries:1 ~schedule:(Runner.Random_sched s.g_seed) w
+
+(* ------------------------------------------------------------------ *)
+(* Per-TM properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_consistent (module T : Tm_intf.S) =
+  QCheck2.Test.make ~count
+    ~name:(T.name ^ " histories are opaque/strictly-serializable")
+    ~print:scenario_print scenario_gen
+    (fun s ->
+      let o = run_scenario (module T) s in
+      let verdict =
+        if T.props.Tm_intf.opaque then
+          Checker.opaque ~dfs_limit:12 o.Runner.history
+        else Checker.strictly_serializable ~dfs_limit:12 o.Runner.history
+      in
+      match verdict with
+      | Checker.Serializable _ -> true
+      | Checker.Dont_know _ -> QCheck2.assume_fail ()
+      | Checker.Not_serializable msg -> QCheck2.Test.fail_report msg)
+
+let prop_progressive (module T : Tm_intf.S) =
+  QCheck2.Test.make ~count ~name:(T.name ^ " aborts only on conflict")
+    ~print:scenario_print scenario_gen
+    (fun s ->
+      if not T.props.Tm_intf.progressive then true
+      else
+        let o = run_scenario (module T) s in
+        match Progress.check_progressive o.Runner.history with
+        | Ok () -> true
+        | Error msg -> QCheck2.Test.fail_report msg)
+
+let prop_invisible (module T : Tm_intf.S) =
+  QCheck2.Test.make ~count ~name:(T.name ^ " invisible reads hold")
+    ~print:scenario_print scenario_gen
+    (fun s ->
+      let o = run_scenario (module T) s in
+      let tr = Machine.trace o.Runner.machine in
+      let strong_ok =
+        (not T.props.Tm_intf.invisible_reads)
+        ||
+        match Invisible.check_strong o.Runner.history tr with
+        | Ok () -> true
+        | Error msg -> QCheck2.Test.fail_report msg
+      in
+      let weak_ok =
+        (not T.props.Tm_intf.weak_invisible_reads)
+        ||
+        match Invisible.check_weak o.Runner.history tr with
+        | Ok () -> true
+        | Error msg -> QCheck2.Test.fail_report msg
+      in
+      strong_ok && weak_ok)
+
+let prop_weak_dap (module T : Tm_intf.S) =
+  QCheck2.Test.make ~count ~name:(T.name ^ " weak DAP holds")
+    ~print:scenario_print scenario_gen
+    (fun s ->
+      if not T.props.Tm_intf.weak_dap then true
+      else
+        let o = run_scenario (module T) s in
+        match Dap.check o.Runner.history (Machine.trace o.Runner.machine) with
+        | Ok () -> true
+        | Error msg -> QCheck2.Test.fail_report msg)
+
+(* No TM here speculates on uncommitted values, so their executions must be
+   opaque at every prefix (real, prefix-closed opacity), not just in the
+   final state. *)
+let prop_prefix_closed (module T : Tm_intf.S) =
+  QCheck2.Test.make ~count:30 ~name:(T.name ^ " opacity is prefix-closed")
+    ~print:scenario_print scenario_gen
+    (fun s ->
+      if not T.props.Tm_intf.opaque then true
+      else
+        let s = { s with g_txs = min s.g_txs 2 } in
+        let o = run_scenario (module T) s in
+        match
+          Checker.opaque_prefix_closed ~dfs_limit:12
+            (Machine.trace o.Runner.machine)
+        with
+        | Checker.Serializable _ -> true
+        | Checker.Dont_know _ -> QCheck2.assume_fail ()
+        | Checker.Not_serializable msg -> QCheck2.Test.fail_report msg)
+
+(* A witness produced by the checker must itself validate. *)
+let prop_witness_legal (module T : Tm_intf.S) =
+  QCheck2.Test.make ~count:30 ~name:(T.name ^ " witnesses are legal")
+    ~print:scenario_print scenario_gen
+    (fun s ->
+      let o = run_scenario (module T) s in
+      match Checker.opaque ~dfs_limit:12 o.Runner.history with
+      | Checker.Serializable w -> (
+          match Checker.legal_order o.Runner.history w with
+          | Ok () -> true
+          | Error msg -> QCheck2.Test.fail_report ("witness: " ^ msg))
+      | _ -> true)
+
+(* Sequential (single-process) workloads never abort and behave like a
+   plain store. *)
+let prop_sequential_is_store (module T : Tm_intf.S) =
+  QCheck2.Test.make ~count ~name:(T.name ^ " sequential = plain store")
+    ~print:scenario_print scenario_gen
+    (fun s ->
+      let s = { s with g_nprocs = 1 } in
+      let o = run_scenario (module T) s in
+      if o.Runner.aborts <> 0 then
+        QCheck2.Test.fail_report "abort in a t-sequential execution"
+      else
+        (* replay specification: reads must observe last committed write *)
+        let state = Hashtbl.create 8 in
+        List.for_all
+          (fun tx ->
+            List.for_all
+              (fun (op, r) ->
+                match (op, r) with
+                | History.Read x, Some (History.RVal v) ->
+                    v
+                    = Option.value ~default:Tm_intf.init_value
+                        (Hashtbl.find_opt state x)
+                | History.Write (x, v), Some History.ROk ->
+                    Hashtbl.replace state x v;
+                    true
+                | _ -> true)
+              tx.History.ops)
+          o.Runner.history.History.txns)
+
+(* Single-object TMs (the Section 5 substrates): opacity and strong
+   progressiveness over randomized single-object scenarios. *)
+let prop_single_object (module T : Tm_intf.S) =
+  QCheck2.Test.make ~count
+    ~name:(T.name ^ " single-object: opaque + strongly progressive")
+    ~print:scenario_print scenario_gen
+    (fun s ->
+      let s = { s with g_nobjs = 1; g_ops = min s.g_ops 2 } in
+      let o = run_scenario (module T) s in
+      (match Checker.opaque ~dfs_limit:12 o.Runner.history with
+      | Checker.Serializable _ -> ()
+      | Checker.Dont_know _ -> QCheck2.assume_fail ()
+      | Checker.Not_serializable msg -> QCheck2.Test.fail_report msg);
+      match Progress.check_strongly_progressive o.Runner.history with
+      | Ok () -> true
+      | Error msg -> QCheck2.Test.fail_report msg)
+
+(* ------------------------------------------------------------------ *)
+(* Machine-level properties                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Determinism: identical seeds produce identical traces. *)
+let prop_machine_deterministic =
+  QCheck2.Test.make ~count ~name:"machine: executions are deterministic"
+    ~print:scenario_print scenario_gen
+    (fun s ->
+      let run () =
+        let o = run_scenario (module Ptm_tms.Tl2) s in
+        List.map
+          (fun (e : Trace.mem_event) ->
+            (e.Trace.seq, e.Trace.pid, e.Trace.addr, e.Trace.resp))
+          (Trace.mem_events (Machine.trace o.Runner.machine))
+      in
+      run () = run ())
+
+(* Step accounting: per-pid step counts equal per-pid mem events. *)
+let prop_machine_step_accounting =
+  QCheck2.Test.make ~count ~name:"machine: steps = attributed events"
+    ~print:scenario_print scenario_gen
+    (fun s ->
+      let o = run_scenario (module Ptm_tms.Dstm) s in
+      let m = o.Runner.machine in
+      let counts = Array.make (Machine.nprocs m) 0 in
+      List.iter
+        (fun (e : Trace.mem_event) ->
+          counts.(e.Trace.pid) <- counts.(e.Trace.pid) + 1)
+        (Trace.mem_events (Machine.trace m));
+      Array.to_list counts
+      = List.init (Machine.nprocs m) (fun pid -> Machine.steps_of m pid))
+
+(* RMR sanity: for every model, RMRs never exceed total events, and DSM
+   RMRs are exactly the accesses to non-owned cells. *)
+let prop_rmr_bounded =
+  QCheck2.Test.make ~count ~name:"rmr: bounded by events; dsm exact"
+    ~print:scenario_print scenario_gen
+    (fun s ->
+      let o = run_scenario (module Ptm_tms.Norec) s in
+      let m = o.Runner.machine in
+      let tr = Machine.trace m in
+      let events = List.length (Trace.mem_events tr) in
+      let nprocs = Machine.nprocs m in
+      List.for_all
+        (fun model ->
+          let c = Rmr.count model ~nprocs (Machine.memory m) tr in
+          c.Rmr.total <= events
+          && c.Rmr.total = Array.fold_left ( + ) 0 c.Rmr.per_pid)
+        Rmr.all_models
+      &&
+      let dsm = Rmr.count Rmr.Dsm ~nprocs (Machine.memory m) tr in
+      let expected =
+        List.length
+          (List.filter
+             (fun (e : Trace.mem_event) ->
+               Memory.owner (Machine.memory m) e.Trace.addr <> Some e.Trace.pid)
+             (Trace.mem_events tr))
+      in
+      dsm.Rmr.total = expected)
+
+(* History extraction is schedule-robust: transaction statuses and data sets
+   derived from the trace agree with the runner's own counts. *)
+let prop_history_consistent_with_runner =
+  QCheck2.Test.make ~count ~name:"history: commit/abort counts match runner"
+    ~print:scenario_print scenario_gen
+    (fun s ->
+      let o = run_scenario (module Ptm_tms.Lazy_tm) s in
+      let committed =
+        List.length
+          (List.filter
+             (fun t -> t.History.status = History.Committed)
+             o.Runner.history.History.txns)
+      in
+      let aborted =
+        List.length
+          (List.filter
+             (fun t -> t.History.status = History.Aborted)
+             o.Runner.history.History.txns)
+      in
+      committed = o.Runner.commits && aborted = o.Runner.aborts)
+
+(* Real-time order extracted from histories is a strict partial order. *)
+let prop_rt_partial_order =
+  QCheck2.Test.make ~count ~name:"history: real-time order is a partial order"
+    ~print:scenario_print scenario_gen
+    (fun s ->
+      let o = run_scenario (module Ptm_tms.Visread) s in
+      let txns = o.Runner.history.History.txns in
+      List.for_all
+        (fun a ->
+          (not (History.precedes a a))
+          && List.for_all
+               (fun b ->
+                 (not (History.precedes a b && History.precedes b a))
+                 && List.for_all
+                      (fun c ->
+                        not
+                          (History.precedes a b && History.precedes b c
+                          && not (History.precedes a c)))
+                      txns)
+               txns)
+        txns)
+
+(* ------------------------------------------------------------------ *)
+(* Mutex properties under random schedules                             *)
+(* ------------------------------------------------------------------ *)
+
+let mutex_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let* n = int_range 1 6 in
+    let* rounds = int_range 1 3 in
+    return (seed, n, rounds))
+
+let prop_mutex (module L : Ptm_mutex.Mutex_intf.S) =
+  QCheck2.Test.make ~count:40
+    ~name:(L.name ^ ": mutual exclusion + progress on random schedules")
+    ~print:(fun (s, n, r) -> Printf.sprintf "seed=%d n=%d rounds=%d" s n r)
+    mutex_gen
+    (fun (seed, n, rounds) ->
+      match
+        Ptm_mutex.Harness.run (module L) ~nprocs:n ~rounds
+          ~schedule:(`Random seed) ()
+      with
+      | _ -> true
+      | exception Ptm_mutex.Harness.Mutual_exclusion_violation msg ->
+          QCheck2.Test.fail_report msg
+      | exception Sched.Out_of_steps ->
+          QCheck2.Test.fail_report "no progress (deadlock/starvation)")
+
+(* ------------------------------------------------------------------ *)
+(* Suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let of_q t = QCheck_alcotest.to_alcotest t
+
+let tm_props =
+  List.concat_map
+    (fun (module T : Tm_intf.S) ->
+      [
+        of_q (prop_consistent (module T));
+        of_q (prop_progressive (module T));
+        of_q (prop_invisible (module T));
+        of_q (prop_weak_dap (module T));
+        of_q (prop_prefix_closed (module T));
+        of_q (prop_witness_legal (module T));
+        of_q (prop_sequential_is_store (module T));
+      ])
+    Ptm_tms.Registry.all
+
+let single_object_props =
+  List.map
+    (fun (module T : Tm_intf.S) -> of_q (prop_single_object (module T)))
+    Ptm_tms.Registry.single_object
+
+let mutex_props =
+  List.map
+    (fun (module L : Ptm_mutex.Mutex_intf.S) -> of_q (prop_mutex (module L)))
+    Ptm_mutex.Mutex_registry.all
+
+let () =
+  Alcotest.run "properties"
+    [
+      ("tm", tm_props);
+      ("single-object", single_object_props);
+      ( "machine",
+        [
+          of_q prop_machine_deterministic;
+          of_q prop_machine_step_accounting;
+          of_q prop_rmr_bounded;
+          of_q prop_history_consistent_with_runner;
+          of_q prop_rt_partial_order;
+        ] );
+      ("mutex", mutex_props);
+    ]

@@ -1,0 +1,151 @@
+(* Tests for workload generation: determinism, shape, uniqueness of written
+   values, and the fixed-shape generators. *)
+
+open Ptm_core
+
+let test_random_deterministic () =
+  let mk () =
+    Workload.random ~seed:9 ~nprocs:3 ~nobjs:4 ~txs_per_proc:2 ~ops_per_tx:3 ()
+  in
+  Alcotest.(check bool) "same seed same workload" true (mk () = mk ());
+  let other =
+    Workload.random ~seed:10 ~nprocs:3 ~nobjs:4 ~txs_per_proc:2 ~ops_per_tx:3 ()
+  in
+  Alcotest.(check bool) "different seed differs" false (mk () = other)
+
+let test_random_shape () =
+  let w =
+    Workload.random ~seed:1 ~nprocs:4 ~nobjs:5 ~txs_per_proc:3 ~ops_per_tx:2 ()
+  in
+  Alcotest.(check int) "procs" 4 (Array.length w.Workload.procs);
+  Array.iter
+    (fun txs ->
+      Alcotest.(check int) "txs per proc" 3 (List.length txs);
+      List.iter
+        (fun ops ->
+          Alcotest.(check int) "ops per tx" 2 (List.length ops);
+          List.iter
+            (fun op ->
+              match op with
+              | Workload.R x -> Alcotest.(check bool) "obj range" true (x >= 0 && x < 5)
+              | Workload.W (x, _) ->
+                  Alcotest.(check bool) "obj range" true (x >= 0 && x < 5))
+            ops)
+        txs)
+    w.Workload.procs
+
+let test_unique_writes () =
+  let w =
+    Workload.random ~seed:2 ~nprocs:4 ~nobjs:3 ~txs_per_proc:4 ~ops_per_tx:4
+      ~write_ratio:1.0 ()
+  in
+  let values =
+    Array.to_list w.Workload.procs
+    |> List.concat_map (fun txs -> List.concat txs)
+    |> List.filter_map (function Workload.W (_, v) -> Some v | _ -> None)
+  in
+  Alcotest.(check int)
+    "all written values distinct"
+    (List.length values)
+    (List.length (List.sort_uniq compare values));
+  Alcotest.(check bool)
+    "values avoid the initial value" true
+    (not (List.mem Tm_intf.init_value values))
+
+let test_write_ratio_extremes () =
+  let all_reads =
+    Workload.random ~seed:3 ~nprocs:2 ~nobjs:3 ~txs_per_proc:2 ~ops_per_tx:4
+      ~write_ratio:0.0 ()
+  in
+  let ops =
+    Array.to_list all_reads.Workload.procs |> List.concat_map List.concat
+  in
+  Alcotest.(check bool)
+    "ratio 0 gives only reads" true
+    (List.for_all (function Workload.R _ -> true | _ -> false) ops);
+  let all_writes =
+    Workload.random ~seed:3 ~nprocs:2 ~nobjs:3 ~txs_per_proc:2 ~ops_per_tx:4
+      ~write_ratio:1.0 ()
+  in
+  let ops =
+    Array.to_list all_writes.Workload.procs |> List.concat_map List.concat
+  in
+  Alcotest.(check bool)
+    "ratio 1 gives only writes" true
+    (List.for_all (function Workload.W _ -> true | _ -> false) ops)
+
+let test_read_only_scaling () =
+  let w = Workload.read_only_scaling ~readers:3 ~nobjs:4 in
+  Alcotest.(check int) "readers" 3 (Array.length w.Workload.procs);
+  Array.iter
+    (fun txs ->
+      match txs with
+      | [ ops ] ->
+          Alcotest.(check int) "reads every object once" 4 (List.length ops);
+          List.iteri
+            (fun i op ->
+              match op with
+              | Workload.R x -> Alcotest.(check int) "in order" i x
+              | Workload.W _ -> Alcotest.fail "unexpected write")
+            ops
+      | _ -> Alcotest.fail "expected a single transaction")
+    w.Workload.procs
+
+let test_hotspot_bias () =
+  let w =
+    Workload.random ~seed:4 ~nprocs:4 ~nobjs:10 ~txs_per_proc:10 ~ops_per_tx:5
+      ~hotspot:(2, 0.9) ()
+  in
+  let ops = Array.to_list w.Workload.procs |> List.concat_map List.concat in
+  let hot =
+    List.length
+      (List.filter
+         (fun op ->
+           match op with
+           | Workload.R x | Workload.W (x, _) -> x < 2)
+         ops)
+  in
+  let total = List.length ops in
+  (* expectation: 0.9 + 0.1 * (2/10) = 0.92 of ops hit the 2 hot objects *)
+  Alcotest.(check bool)
+    (Printf.sprintf "hot fraction %d/%d biased" hot total)
+    true
+    (float_of_int hot /. float_of_int total > 0.8);
+  (* hotspot covering everything degenerates to uniform and stays valid *)
+  let w2 =
+    Workload.random ~seed:4 ~nprocs:2 ~nobjs:3 ~txs_per_proc:2 ~ops_per_tx:3
+      ~hotspot:(3, 0.9) ()
+  in
+  Alcotest.(check int) "degenerate ok" 2 (Array.length w2.Workload.procs)
+
+let test_bank_touches_two_accounts () =
+  let w = Workload.bank ~nprocs:2 ~naccounts:4 ~transfers_per_proc:5 ~seed:7 in
+  Array.iter
+    (fun txs ->
+      List.iter
+        (fun ops ->
+          let objs =
+            List.sort_uniq compare
+              (List.map
+                 (function Workload.R x -> x | Workload.W (x, _) -> x)
+                 ops)
+          in
+          Alcotest.(check int) "two distinct accounts" 2 (List.length objs))
+        txs)
+    w.Workload.procs
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generation",
+        [
+          Alcotest.test_case "deterministic" `Quick test_random_deterministic;
+          Alcotest.test_case "shape" `Quick test_random_shape;
+          Alcotest.test_case "unique writes" `Quick test_unique_writes;
+          Alcotest.test_case "write ratio extremes" `Quick
+            test_write_ratio_extremes;
+          Alcotest.test_case "read-only scaling" `Quick test_read_only_scaling;
+          Alcotest.test_case "hotspot bias" `Quick test_hotspot_bias;
+          Alcotest.test_case "bank" `Quick test_bank_touches_two_accounts;
+        ] );
+    ]
