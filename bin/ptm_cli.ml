@@ -228,13 +228,55 @@ let explore_cmd =
       value & opt int 22
       & info [ "max-steps" ] ~docv:"D" ~doc:"Per-path step bound.")
   in
-  let run (module L : Ptm_mutex.Mutex_intf.S) max_steps =
+  let procs_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "procs" ] ~docv:"N" ~doc:"Number of contending processes.")
+  in
+  let paths_arg =
+    Arg.(
+      value & opt int 4_000_000
+      & info [ "max-paths" ] ~docv:"P"
+          ~doc:
+            "Leaf budget. On exhaustion partial stats are reported with \
+             'exhausted'.")
+  in
+  let reduce_arg =
+    Arg.(
+      value & flag
+      & info [ "reduce" ]
+          ~doc:
+            "Use sleep-set + persistent-set partial-order reduction (DPOR) \
+             instead of the naive enumeration.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"J"
+          ~doc:"Split the root branches across $(docv) parallel domains.")
+  in
+  let compare_arg =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "Run both the naive and the reduced search and report the \
+             reduction ratio.")
+  in
+  let progress_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "progress" ] ~docv:"K"
+          ~doc:"Print a progress line to stderr every $(docv) leaves (0: off).")
+  in
+  let run (module L : Ptm_mutex.Mutex_intf.S) max_steps nprocs max_paths
+      reduce domains compare progress_every =
     let mk () =
-      let m = Ptm_machine.Machine.create ~nprocs:2 in
-      let lock = L.create m ~nprocs:2 in
+      let m = Ptm_machine.Machine.create ~nprocs in
+      let lock = L.create m ~nprocs in
       let c = Ptm_machine.Machine.alloc m ~name:"c" (Ptm_machine.Value.Int 0) in
       let occupancy = ref 0 in
-      for pid = 0 to 1 do
+      for pid = 0 to nprocs - 1 do
         Ptm_machine.Machine.spawn m pid (fun () ->
             L.enter lock ~pid;
             incr occupancy;
@@ -247,18 +289,49 @@ let explore_cmd =
       done;
       m
     in
-    let s =
-      Ptm_machine.Explore.run ~mk ~max_steps ~max_paths:4_000_000 ()
+    let progress =
+      if progress_every <= 0 then None
+      else
+        Some
+          (fun (s : Ptm_machine.Explore.stats) ->
+            Fmt.epr "... %d paths, %d cut, %d pruned@." s.paths s.cut s.pruned)
     in
-    Fmt.pr "%s: %a@." L.name Ptm_machine.Explore.pp_stats s;
-    if s.Ptm_machine.Explore.violations > 0 then exit 1
+    let search mode =
+      Ptm_machine.Explore.run ~mk ~max_steps ~max_paths ~mode ~domains
+        ?progress
+        ~progress_every:(max 1 progress_every)
+        ()
+    in
+    if compare then begin
+      let naive = search Ptm_machine.Explore.Naive in
+      let reduced = search Ptm_machine.Explore.Dpor in
+      Fmt.pr "%s naive: %a@." L.name Ptm_machine.Explore.pp_stats naive;
+      Fmt.pr "%s dpor:  %a@." L.name Ptm_machine.Explore.pp_stats reduced;
+      Fmt.pr "reduction: %.1fx fewer paths@."
+        (Ptm_machine.Explore.reduction_ratio ~naive ~reduced);
+      if naive.Ptm_machine.Explore.violations > 0
+         || reduced.Ptm_machine.Explore.violations > 0
+      then exit 1
+    end
+    else begin
+      let s =
+        search
+          (if reduce then Ptm_machine.Explore.Dpor
+           else Ptm_machine.Explore.Naive)
+      in
+      Fmt.pr "%s: %a@." L.name Ptm_machine.Explore.pp_stats s;
+      if s.Ptm_machine.Explore.violations > 0 then exit 1
+    end
   in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
          "Exhaustively model-check a lock's mutual exclusion over every \
-          2-process schedule up to a step bound.")
-    Term.(const run $ lock_arg $ steps_arg)
+          schedule up to a step bound, optionally with partial-order \
+          reduction and parallel domains.")
+    Term.(
+      const run $ lock_arg $ steps_arg $ procs_arg $ paths_arg $ reduce_arg
+      $ domains_arg $ compare_arg $ progress_arg)
 
 (* ---------------- props ---------------- *)
 

@@ -34,7 +34,11 @@ let best ~candidates points =
             { shape; coeff; r2 })
           candidates
       in
-      List.fold_left (fun a b -> if b.r2 > a.r2 then b else a)
+      (* On R² ties prefer the later candidate: the standard shape lists
+         are ordered highest-order first, so degenerate data (e.g. a single
+         point, which every shape fits with R² = 1) reports the
+         lowest-order shape instead of silently claiming m². *)
+      List.fold_left (fun a b -> if b.r2 >= a.r2 then b else a)
         (List.hd fits) (List.tl fits)
 
 let log2 x = log x /. log 2.

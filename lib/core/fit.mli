@@ -20,8 +20,11 @@ val best :
   candidates:(string * (float -> float)) list ->
   (float * float) list ->
   fit
-(** The candidate with the highest r². Raises [Invalid_argument] on an empty
-    candidate or point list. *)
+(** The candidate with the highest r². Exact ties go to the {e later}
+    candidate — the standard shape lists are ordered highest-order first,
+    so degenerate series (e.g. a single point, which every shape fits with
+    r² = 1) select the lowest-order shape rather than the head of the
+    list. Raises [Invalid_argument] on an empty candidate or point list. *)
 
 val shapes_m : (string * (float -> float)) list
 (** Standard candidates for read-set scaling: "m^2", "m log m", "m". *)

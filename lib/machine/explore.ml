@@ -1,87 +1,418 @@
 type stats = {
   paths : int;
   cut : int;
+  pruned : int;
   violations : int;
   first_violation : int list option;
+  exhausted : bool;
 }
 
+type mode = Naive | Dpor
+
 let pp_stats ppf s =
-  Fmt.pf ppf "paths=%d cut=%d violations=%d%s" s.paths s.cut s.violations
+  Fmt.pf ppf "paths=%d cut=%d pruned=%d violations=%d%s%s" s.paths s.cut
+    s.pruned s.violations
     (match s.first_violation with
     | None -> ""
     | Some w ->
         Printf.sprintf " witness=[%s]"
           (String.concat ";" (List.map string_of_int w)))
+    (if s.exhausted then " exhausted" else "")
+
+let reduction_ratio ~naive ~reduced =
+  float_of_int naive.paths /. float_of_int (max 1 reduced.paths)
+
+(* Internal: unwinds the current worker's search when the shared path budget
+   trips; caught at the worker top, never escapes [run]. *)
+exception Budget
+
+(* The transition a runnable process will take when next scheduled: the
+   memory event it is poised to apply, or a voluntary pause (which touches
+   no base object). *)
+type pending = Pmem of { addr : int; trivial : bool } | Ppause
+
+let pending_of m pid =
+  match Machine.poised m pid with
+  | Some { Proc.addr; prim } ->
+      Pmem { addr; trivial = Primitive.is_trivial prim }
+  | None -> Ppause
+
+(* Dependence of two transitions, derived from the trace-event shape exactly
+   as the events would be recorded: same process (program order), or two
+   accesses to the same base object of which at least one is nontrivial.
+   Pauses produce no event and commute with every other process's step;
+   trivial primitives (Read, Ll) on the same address commute with each
+   other. Conditional primitives (Cas, Sc, Tas) are classified nontrivial
+   here even when they would fail — a sound over-approximation. *)
+let dependent (p, tp) (q, tq) =
+  p = q
+  ||
+  match (tp, tq) with
+  | Pmem a, Pmem b -> a.addr = b.addr && not (a.trivial && b.trivial)
+  | _ -> false
+
+(* Per-worker tallies; merged deterministically across domains. *)
+type acc = {
+  mutable a_paths : int;
+  mutable a_cut : int;
+  mutable a_pruned : int;
+  mutable a_violations : int;
+  mutable a_first : int list option;
+  mutable a_ticks : int;  (* leaves since the last progress callback *)
+}
+
+type ctx = {
+  mk : unit -> Machine.t;
+  final : Machine.t -> bool;
+  max_steps : int;
+  max_paths : int;
+  spent : int Atomic.t;  (* paths + cut counted so far, across all domains *)
+  tripped : bool Atomic.t;
+  progress : (stats -> unit) option;
+  progress_every : int;
+}
+
+let fresh_acc () =
+  {
+    a_paths = 0;
+    a_cut = 0;
+    a_pruned = 0;
+    a_violations = 0;
+    a_first = None;
+    a_ticks = 0;
+  }
+
+let stats_of ctx acc =
+  {
+    paths = acc.a_paths;
+    cut = acc.a_cut;
+    pruned = acc.a_pruned;
+    violations = acc.a_violations;
+    first_violation = acc.a_first;
+    exhausted = Atomic.get ctx.tripped;
+  }
+
+(* Charge one leaf (complete or cut path) against the shared budget. The
+   bound is strict: exactly [max_paths] leaves are admitted, then the search
+   unwinds and [run] returns whatever was tallied, with [exhausted] set. *)
+let leaf ctx acc =
+  if Atomic.fetch_and_add ctx.spent 1 >= ctx.max_paths then begin
+    Atomic.set ctx.tripped true;
+    raise Budget
+  end;
+  acc.a_ticks <- acc.a_ticks + 1;
+  match ctx.progress with
+  | Some f when acc.a_ticks >= ctx.progress_every ->
+      acc.a_ticks <- 0;
+      f (stats_of ctx acc)
+  | _ -> ()
+
+let note_violation acc rev_schedule =
+  acc.a_violations <- acc.a_violations + 1;
+  if acc.a_first = None then acc.a_first <- Some (List.rev rev_schedule)
+
+let replay ctx rev_schedule =
+  let m = ctx.mk () in
+  List.iter
+    (fun pid -> ignore (Machine.step m pid : Machine.step_result))
+    (List.rev rev_schedule);
+  m
+
+let crashed m =
+  let n = Machine.nprocs m in
+  let rec go pid =
+    if pid >= n then false
+    else
+      match Machine.status m pid with
+      | Machine.Crashed _ -> true
+      | _ -> go (pid + 1)
+  in
+  go 0
+
+let runnable m =
+  List.filter
+    (fun pid -> Machine.status m pid = Machine.Runnable)
+    (List.init (Machine.nprocs m) Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Naive exhaustive DFS (the reference the reduction is validated      *)
+(* against). The first child of each node reuses the current machine   *)
+(* in place (machines are single-shot, but the first branch needs no   *)
+(* replay); every other sibling replays its prefix on a fresh machine  *)
+(* — one replay per extra branch, not per node.                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec naive_dfs ctx acc m rev_schedule depth =
+  if crashed m then begin
+    leaf ctx acc;
+    acc.a_paths <- acc.a_paths + 1;
+    note_violation acc rev_schedule
+  end
+  else
+    match runnable m with
+    | [] ->
+        leaf ctx acc;
+        acc.a_paths <- acc.a_paths + 1;
+        if not (ctx.final m) then note_violation acc rev_schedule
+    | live ->
+        if depth >= ctx.max_steps then begin
+          leaf ctx acc;
+          acc.a_cut <- acc.a_cut + 1
+        end
+        else begin
+          let rest = List.tl live in
+          (* siblings first (they replay the current prefix), then the
+             head branch consumes [m] in place *)
+          List.iter
+            (fun pid ->
+              let m' = replay ctx rev_schedule in
+              ignore (Machine.step m' pid : Machine.step_result);
+              naive_dfs ctx acc m' (pid :: rev_schedule) (depth + 1))
+            rest;
+          let pid = List.hd live in
+          ignore (Machine.step m pid : Machine.step_result);
+          naive_dfs ctx acc m (pid :: rev_schedule) (depth + 1)
+        end
+
+(* ------------------------------------------------------------------ *)
+(* DPOR: sleep sets + dynamically computed persistent (backtrack) sets *)
+(* in the style of Flanagan–Godefroid. Each node on the current path   *)
+(* records the transition taken from it; when a new transition is      *)
+(* about to execute, the deepest earlier step it depends on gets a     *)
+(* backtrack point, forcing the conflicting orders to be explored.     *)
+(* Sleep sets carry already-covered transitions into sibling subtrees  *)
+(* and prune them until a dependent step wakes them.                   *)
+(* ------------------------------------------------------------------ *)
+
+type node = {
+  n_enabled : int list;
+  mutable n_backtrack : int list;
+  mutable n_done : int list;
+  mutable n_sleep : (int * pending) list;
+  mutable n_exec : (int * pending) option;
+      (* the transition taken from this node along the current path *)
+}
+
+let slept sleep pid = List.exists (fun (q, _) -> q = pid) sleep
+
+let rec dpor_dfs ctx acc stack m rev_schedule depth sleep0 =
+  if crashed m then begin
+    leaf ctx acc;
+    acc.a_paths <- acc.a_paths + 1;
+    note_violation acc rev_schedule
+  end
+  else
+    match runnable m with
+    | [] ->
+        leaf ctx acc;
+        acc.a_paths <- acc.a_paths + 1;
+        if not (ctx.final m) then note_violation acc rev_schedule
+    | live ->
+        if depth >= ctx.max_steps then begin
+          leaf ctx acc;
+          acc.a_cut <- acc.a_cut + 1
+        end
+        else begin
+          let pend = Array.make (Machine.nprocs m) Ppause in
+          List.iter (fun pid -> pend.(pid) <- pending_of m pid) live;
+          (* Conflict analysis: for each enabled transition, find the most
+             recent step of another process it depends on and add a
+             backtrack point there, so the reversed order is explored
+             too. If the transition's process was not enabled at that
+             node, conservatively back-track every enabled process. *)
+          List.iter
+            (fun q ->
+              let tq = (q, pend.(q)) in
+              let add nd r =
+                if
+                  not (List.mem r nd.n_backtrack || List.mem r nd.n_done)
+                then nd.n_backtrack <- r :: nd.n_backtrack
+              in
+              let rec scan i =
+                if i >= 0 then
+                  match stack.(i) with
+                  | None -> ()
+                  | Some nd -> (
+                      match nd.n_exec with
+                      | Some ((p, _) as tp) when p <> q && dependent tp tq
+                        ->
+                          if List.mem q nd.n_enabled then add nd q
+                          else List.iter (add nd) nd.n_enabled
+                      | _ -> scan (i - 1))
+              in
+              scan (depth - 1))
+            live;
+          let nd =
+            {
+              n_enabled = live;
+              n_backtrack = [];
+              n_done = [];
+              n_sleep = sleep0;
+              n_exec = None;
+            }
+          in
+          stack.(depth) <- Some nd;
+          (match List.find_opt (fun p -> not (slept nd.n_sleep p)) live with
+          | None ->
+              (* sleep-blocked: every enabled transition is covered by an
+                 already-explored sibling subtree *)
+              acc.a_pruned <- acc.a_pruned + 1
+          | Some p0 ->
+              nd.n_backtrack <- [ p0 ];
+              let in_place = ref (Some m) in
+              let rec branches () =
+                let candidate =
+                  List.fold_left
+                    (fun best q ->
+                      if List.mem q nd.n_done then best
+                      else
+                        match best with
+                        | Some b when b <= q -> best
+                        | _ -> Some q)
+                    None nd.n_backtrack
+                in
+                match candidate with
+                | None -> ()
+                | Some q ->
+                    nd.n_done <- q :: nd.n_done;
+                    if slept nd.n_sleep q then begin
+                      (* covered by the subtree that put [q] to sleep *)
+                      acc.a_pruned <- acc.a_pruned + 1;
+                      branches ()
+                    end
+                    else begin
+                      let tq = (q, pend.(q)) in
+                      let child_sleep =
+                        List.filter
+                          (fun s -> not (dependent tq s))
+                          nd.n_sleep
+                      in
+                      let m' =
+                        match !in_place with
+                        | Some m0 ->
+                            in_place := None;
+                            m0
+                        | None -> replay ctx rev_schedule
+                      in
+                      nd.n_exec <- Some tq;
+                      ignore (Machine.step m' q : Machine.step_result);
+                      dpor_dfs ctx acc stack m' (q :: rev_schedule)
+                        (depth + 1) child_sleep;
+                      nd.n_sleep <- tq :: nd.n_sleep;
+                      branches ()
+                    end
+              in
+              branches ());
+          stack.(depth) <- None
+        end
+
+(* ------------------------------------------------------------------ *)
+(* Driver: sequential, or split across domains at the root.            *)
+(* ------------------------------------------------------------------ *)
+
+let empty_stats =
+  {
+    paths = 0;
+    cut = 0;
+    pruned = 0;
+    violations = 0;
+    first_violation = None;
+    exhausted = false;
+  }
 
 let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
-    ?(max_paths = 1_000_000) () =
-  let paths = ref 0 and cut = ref 0 and violations = ref 0 in
-  let first_violation = ref None in
-  let note_violation rev_schedule =
-    incr violations;
-    if !first_violation = None then
-      first_violation := Some (List.rev rev_schedule)
+    ?(max_paths = 1_000_000) ?(mode = Naive) ?(domains = 1) ?progress
+    ?(progress_every = 10_000) () =
+  let ctx =
+    {
+      mk;
+      final;
+      max_steps;
+      max_paths;
+      spent = Atomic.make 0;
+      tripped = Atomic.make false;
+      progress;
+      progress_every;
+    }
   in
-  let replay rev_schedule =
-    let m = mk () in
-    List.iter
-      (fun pid -> ignore (Machine.step m pid : Machine.step_result))
-      (List.rev rev_schedule);
-    m
+  let explore_sub acc m rev_schedule depth sleep0 =
+    match mode with
+    | Naive -> naive_dfs ctx acc m rev_schedule depth
+    | Dpor ->
+        let stack = Array.make (max_steps + 1) None in
+        dpor_dfs ctx acc stack m rev_schedule depth sleep0
   in
-  let crashed m =
-    let n = Machine.nprocs m in
-    let rec go pid =
-      if pid >= n then false
-      else
-        match Machine.status m pid with
-        | Machine.Crashed _ -> true
-        | _ -> go (pid + 1)
+  let root = mk () in
+  let live0 = runnable root in
+  let nb = List.length live0 in
+  if domains <= 1 || nb <= 1 || max_steps <= 0 || crashed root then begin
+    let acc = fresh_acc () in
+    (try explore_sub acc root [] 0 [] with Budget -> ());
+    stats_of ctx acc
+  end
+  else begin
+    (* Split the root branching factor: one task per root branch, workers
+       pulling tasks from a shared counter. Which domain runs which branch
+       is racy, but each branch's stats are a deterministic function of
+       (mk, branch), so the branch-ordered merge below is deterministic —
+       except when the budget trips, where the cross-domain interleaving
+       decides which leaves were admitted. In Dpor mode every root branch
+       is explored (a sound superset of the root persistent set); root
+       sleep sets still prune: branch i starts with branches 0..i-1
+       asleep. *)
+    let pend0 = Array.make (Machine.nprocs root) Ppause in
+    List.iter (fun pid -> pend0.(pid) <- pending_of root pid) live0;
+    let branches = Array.of_list live0 in
+    let results = Array.make nb empty_stats in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec pull () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < nb then begin
+          let pid = branches.(i) in
+          let acc = fresh_acc () in
+          (try
+             let m = mk () in
+             ignore (Machine.step m pid : Machine.step_result);
+             let sleep0 =
+               match mode with
+               | Naive -> []
+               | Dpor ->
+                   let tq = (pid, pend0.(pid)) in
+                   let earlier = ref [] in
+                   Array.iteri
+                     (fun j r ->
+                       if j < i then earlier := (r, pend0.(r)) :: !earlier)
+                     branches;
+                   List.filter (fun s -> not (dependent tq s)) !earlier
+             in
+             explore_sub acc m [ pid ] 1 sleep0
+           with Budget -> ());
+          results.(i) <- stats_of ctx acc;
+          pull ()
+        end
+      in
+      pull ()
     in
-    go 0
-  in
-  let runnable m =
-    List.filter
-      (fun pid -> Machine.status m pid = Machine.Runnable)
-      (List.init (Machine.nprocs m) Fun.id)
-  in
-  (* DFS over scheduling choices. The first child of each node reuses the
-     current machine in place (machines are single-shot, but the first
-     branch needs no replay); every other sibling replays its prefix on a
-     fresh machine — one replay per extra branch, not per node. *)
-  let rec dfs m rev_schedule depth =
-    if !paths + !cut > max_paths then
-      failwith "Explore.run: path budget exceeded; shrink the configuration";
-    if crashed m then begin
-      incr paths;
-      note_violation rev_schedule
-    end
-    else
-      match runnable m with
-      | [] ->
-          incr paths;
-          if not (final m) then note_violation rev_schedule
-      | live ->
-          if depth >= max_steps then incr cut
-          else begin
-            let rest = List.tl live in
-            (* siblings first (they replay the current prefix), then the
-               head branch consumes [m] in place *)
-            List.iter
-              (fun pid ->
-                let m' = replay rev_schedule in
-                ignore (Machine.step m' pid : Machine.step_result);
-                dfs m' (pid :: rev_schedule) (depth + 1))
-              rest;
-            let pid = List.hd live in
-            ignore (Machine.step m pid : Machine.step_result);
-            dfs m (pid :: rev_schedule) (depth + 1)
-          end
-  in
-  dfs (mk ()) [] 0;
-  {
-    paths = !paths;
-    cut = !cut;
-    violations = !violations;
-    first_violation = !first_violation;
-  }
+    let spawned =
+      Array.init
+        (min domains nb - 1)
+        (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.fold_left
+      (fun s r ->
+        {
+          paths = s.paths + r.paths;
+          cut = s.cut + r.cut;
+          pruned = s.pruned + r.pruned;
+          violations = s.violations + r.violations;
+          first_violation =
+            (match s.first_violation with
+            | Some _ -> s.first_violation
+            | None -> r.first_violation);
+          exhausted = s.exhausted || r.exhausted;
+        })
+      empty_stats results
+  end

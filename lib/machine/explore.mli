@@ -1,37 +1,91 @@
-(** Bounded exhaustive schedule exploration (stateless model checking).
+(** Bounded exhaustive schedule exploration (stateless model checking),
+    optionally with partial-order reduction.
 
-    Enumerates {e every} interleaving of the spawned processes' steps, up to
-    a total step bound, re-executing the (deterministic) machine from
-    scratch along each scheduling path. Invariants are expressed as
-    assertions inside the process programs (a violation crashes the process)
-    plus an optional final-state predicate checked on every maximal path.
+    Enumerates interleavings of the spawned processes' steps, up to a total
+    step bound, re-executing the (deterministic) machine from scratch along
+    each scheduling path. Invariants are expressed as assertions inside the
+    process programs (a violation crashes the process) plus an optional
+    final-state predicate checked on every maximal path.
 
-    Intended for small configurations: the number of paths is the number of
-    interleavings, so keep programs to a few dozen total steps. Spinning
-    programs make some paths infinite; those are cut at [max_steps] and
-    counted in [cut] (the exploration is exhaustive {e within the bound}, as
-    in bounded model checking). *)
+    Two search modes:
+
+    - {!Naive} enumerates {e every} interleaving — the reference search.
+    - {!Dpor} applies dynamic partial-order reduction: sleep sets plus
+      dynamically computed persistent (backtrack) sets in the style of
+      Flanagan–Godefroid. Two enabled steps are {e independent} iff they
+      belong to different processes and either target distinct base objects
+      or are both trivial primitives ({!Primitive.is_trivial}); pauses touch
+      no base object and are independent of every other process's step.
+      Only a representative of each Mazurkiewicz trace (equivalence class of
+      interleavings under commuting independent steps) is fully explored;
+      redundant interleavings are counted in [pruned] instead of [paths].
+      Crash reachability and terminal states are preserved, so the
+      violation {e verdict} matches the naive search; the violation {e
+      count} may be lower (equivalent violating interleavings collapse).
+
+    Exploration is budget-safe: when [max_paths] leaves have been admitted
+    the search stops and [run] returns the partial tallies with [exhausted]
+    set — any [first_violation] witness found before the budget tripped is
+    preserved. The bound is strict (exactly [max_paths] leaves, never
+    [max_paths + 1]).
+
+    Intended for small configurations: keep programs to a few dozen total
+    steps. Spinning programs make some paths infinite; those are cut at
+    [max_steps] and counted in [cut] (the exploration is exhaustive {e
+    within the bound}, as in bounded model checking). *)
 
 type stats = {
   paths : int;  (** maximal paths fully explored *)
   cut : int;  (** paths truncated at the step bound *)
+  pruned : int;
+      (** redundant branches skipped by the reduction (0 in {!Naive} mode):
+          sleep-blocked nodes plus backtrack candidates found asleep *)
   violations : int;  (** paths ending in a crash or failed final predicate *)
   first_violation : int list option;
       (** a witness schedule (pids in step order), if any *)
+  exhausted : bool;
+      (** the path budget tripped: the stats are a partial tally of an
+          incomplete search (any witness found so far is still reported) *)
 }
+
+type mode =
+  | Naive  (** enumerate every interleaving *)
+  | Dpor  (** sleep-set + persistent-set partial-order reduction *)
 
 val run :
   mk:(unit -> Machine.t) ->
   ?final:(Machine.t -> bool) ->
   ?max_steps:int ->
   ?max_paths:int ->
+  ?mode:mode ->
+  ?domains:int ->
+  ?progress:(stats -> unit) ->
+  ?progress_every:int ->
   unit ->
   stats
 (** [mk ()] must build a fresh machine with all processes spawned.
     [final] (default: fun _ -> true) is evaluated when no process is
     runnable. [max_steps] (default 60) bounds each path's length;
-    [max_paths] (default 1_000_000) bounds the exploration and raises
-    [Failure] when exceeded — raise it rather than trusting a silently
-    truncated search. *)
+    [max_paths] (default 1_000_000) strictly bounds the number of admitted
+    leaves (complete + cut paths) — on exhaustion partial stats are
+    returned with [exhausted = true] instead of raising.
+
+    [mode] (default {!Naive}) selects the search. [domains] (default 1)
+    splits the root branching factor across that many OCaml domains; [mk]
+    and [final] must then be safe to call concurrently from several domains
+    (building disjoint machines, as the test harnesses do). The merged
+    stats are deterministic — branch tallies are combined in root-branch
+    order — except that a budget trip is resolved by the cross-domain race
+    for the last admitted leaves. In [Dpor] mode the per-branch path counts
+    can differ from the single-domain search (the root explores all
+    branches rather than a computed persistent set); the verdict does not.
+
+    [progress] (with [progress_every], default 10_000) is invoked with a
+    snapshot of the calling worker's tallies every [progress_every] leaves
+    — from each domain concurrently when [domains > 1]. *)
+
+val reduction_ratio : naive:stats -> reduced:stats -> float
+(** [naive.paths / reduced.paths] (guarding against division by zero): how
+    many naive paths each explored representative stands for. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -37,9 +37,12 @@ let iter model memory trace charge =
             end
           end
           else begin
-            (* Write-through: always an RMR; invalidates all cached copies. *)
+            (* Write-through: always an RMR; invalidates the other
+               processes' cached copies, but the writer's own line stays
+               valid (the store updates it in place on its way to memory),
+               so a writer re-reading its own line is not charged again. *)
             charge e;
-            Hashtbl.replace valid e.addr []
+            Hashtbl.replace valid e.addr [ e.pid ]
           end)
         events
   | Cc_write_back ->

@@ -203,6 +203,319 @@ let test_deterministic () =
   let run () = Explore.run ~mk:(mk_mutex (module Tas)) ~max_steps:20 () in
   Alcotest.(check bool) "same stats" true (run () = run ())
 
+(* ------------------------------------------------------------------ *)
+(* Partial-order reduction, validated differentially: on every          *)
+(* configuration the reduced search must reach the same verdict as the  *)
+(* naive one while exploring no more (in practice: far fewer) paths.    *)
+(* ------------------------------------------------------------------ *)
+
+let differential ?(max_steps = 40) ?(max_paths = 2_000_000) ~name ~mk ~final
+    () =
+  let naive = Explore.run ~mk ~final ~max_steps ~max_paths () in
+  let dpor =
+    Explore.run ~mk ~final ~max_steps ~max_paths ~mode:Explore.Dpor ()
+  in
+  Alcotest.(check bool)
+    (name ^ ": naive search completed")
+    false naive.Explore.exhausted;
+  Alcotest.(check bool)
+    (name ^ ": reduced search completed")
+    false dpor.Explore.exhausted;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: identical verdict (naive %d violations, dpor %d)"
+       name naive.Explore.violations dpor.Explore.violations)
+    (naive.Explore.violations > 0)
+    (dpor.Explore.violations > 0);
+  Alcotest.(check bool)
+    (name ^ ": identical witness presence")
+    (naive.Explore.first_violation <> None)
+    (dpor.Explore.first_violation <> None);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: no extra paths (naive %d, dpor %d)" name
+       naive.Explore.paths dpor.Explore.paths)
+    true
+    (dpor.Explore.paths <= naive.Explore.paths);
+  (naive, dpor)
+
+(* The DESIGN.md S3 validation story: the undolog ABA configuration's
+   13,773 naive interleavings. The acceptance bar for the reduction is a
+   >= 5x cut in explored paths with the identical verdict. *)
+let test_undolog_aba_reduction () =
+  let naive, dpor =
+    differential ~name:"undolog-aba"
+      ~mk:(mk_tm (module Ptm_tms.Undolog))
+      ~final:opaque_final ()
+  in
+  Alcotest.(check int) "13,773 naive interleavings" 13_773 naive.Explore.paths;
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 5x fewer paths (%d vs %d, ratio %.0fx)"
+       naive.Explore.paths dpor.Explore.paths
+       (Explore.reduction_ratio ~naive ~reduced:dpor))
+    true
+    (naive.Explore.paths >= 5 * dpor.Explore.paths)
+
+let dpor_tm_cases =
+  List.filter_map
+    (fun (module T : Tm_intf.S) ->
+      if T.name = "ostm" then None
+      else
+        Some
+          (Alcotest.test_case T.name `Slow (fun () ->
+               ignore
+                 (differential ~name:T.name
+                    ~mk:(mk_tm (module T))
+                    ~final:opaque_final ()))))
+    Ptm_tms.Registry.all
+
+(* OSTM's helping protocol exceeds the naive budget at full depth, so the
+   differential runs at a shallower bound where the naive search completes;
+   the reduced search then covers the full-depth scenarios the naive one
+   never could (the random sweep above remains the naive coverage). *)
+let test_ostm_differential () =
+  ignore
+    (differential ~name:"ostm" ~max_steps:18
+       ~mk:(mk_tm (module Ptm_tms.Ostm))
+       ~final:opaque_final ())
+
+let test_ostm_dpor_full_depth () =
+  List.iter
+    (fun (name, mk) ->
+      let s =
+        Explore.run ~mk ~final:opaque_final ~max_steps:40
+          ~max_paths:2_000_000 ~mode:Explore.Dpor ()
+      in
+      Alcotest.(check bool) (name ^ ": search completed") false
+        s.Explore.exhausted;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: opaque on all %d complete paths" name
+           s.Explore.paths)
+        0 s.Explore.violations)
+    [
+      ("ostm two-object", mk_tm (module Ptm_tms.Ostm));
+      ("ostm single-object", mk_single_object (module Ptm_tms.Ostm));
+    ]
+
+let dpor_single_object_cases =
+  List.map
+    (fun (module T : Tm_intf.S) ->
+      Alcotest.test_case T.name `Slow (fun () ->
+          ignore
+            (differential ~name:T.name
+               ~mk:(mk_single_object (module T))
+               ~final:some_commit ())))
+    [
+      (module Ptm_tms.Oneshot : Tm_intf.S);
+      (module Ptm_tms.Oneshot_llsc : Tm_intf.S);
+      (module Ptm_tms.Sgl : Tm_intf.S);
+      (module Ptm_tms.Dstm : Tm_intf.S);
+      (* visread violates strong progressiveness: both searches must find
+         the mutual-abort schedule (positive verdict on both sides). *)
+      (module Ptm_tms.Visread : Tm_intf.S);
+    ]
+
+(* A deliberately lossy counter: three processes increment non-atomically
+   (read, then write), so most interleavings lose an update. *)
+let mk_lossy () =
+  let m = Machine.create ~nprocs:3 in
+  let c = Machine.alloc m ~name:"c" (Value.Int 0) in
+  for pid = 0 to 2 do
+    Machine.spawn m pid (fun () ->
+        let v = Proc.read_int c in
+        Proc.write c (Value.Int (v + 1)))
+  done;
+  m
+
+let test_differential_broken () =
+  ignore
+    (differential ~name:"broken" ~max_steps:16
+       ~mk:(mk_mutex (module Broken_lock))
+       ~final:(counter_is 2) ())
+
+let test_differential_racy () =
+  ignore
+    (differential ~name:"racy" ~max_steps:20
+       ~mk:(mk_mutex (module Racy_lock))
+       ~final:(counter_is 2) ())
+
+let test_differential_lossy () =
+  ignore
+    (differential ~name:"lossy" ~max_steps:12 ~mk:mk_lossy
+       ~final:(counter_is 3) ())
+
+(* Random small workloads: the agreement must hold beyond the hand-picked
+   configurations. Two processes, 1-2 transactional ops each, over three
+   TMs with very different conflict behaviour. *)
+let prop_dpor_matches_naive =
+  let open QCheck2 in
+  let gen =
+    Gen.(
+      triple (int_bound 2)
+        (list_size (1 -- 2) (pair (int_bound 1) bool))
+        (list_size (1 -- 2) (pair (int_bound 1) bool)))
+  in
+  let print (t, a, b) =
+    let ops l =
+      String.concat ";"
+        (List.map
+           (fun (o, w) -> Printf.sprintf "%s%d" (if w then "W" else "R") o)
+           l)
+    in
+    Printf.sprintf "tm=%d p0=[%s] p1=[%s]" t (ops a) (ops b)
+  in
+  Test.make ~count:12 ~name:"dpor agrees with naive on random workloads"
+    ~print gen (fun (ti, ops0, ops1) ->
+      let tms =
+        [|
+          (module Ptm_tms.Dstm : Tm_intf.S);
+          (module Ptm_tms.Visread : Tm_intf.S);
+          (module Ptm_tms.Tl2 : Tm_intf.S);
+        |]
+      in
+      let (module T) = tms.(ti) in
+      let mk () =
+        let module R = Runner.Make (T) in
+        let m = Machine.create ~nprocs:2 in
+        let ctx = R.init m ~nobjs:2 in
+        let prog pid ops () =
+          let tx = R.begin_tx ctx ~pid in
+          let rec go = function
+            | [] -> ignore (R.commit ctx tx)
+            | (obj, write) :: rest ->
+                let ok =
+                  if write then
+                    match R.write ctx tx obj (pid + 1) with
+                    | Ok () -> true
+                    | Error `Abort -> false
+                  else
+                    match R.read ctx tx obj with
+                    | Ok _ -> true
+                    | Error `Abort -> false
+                in
+                if ok then go rest
+          in
+          go ops
+        in
+        Machine.spawn m 0 (prog 0 ops0);
+        Machine.spawn m 1 (prog 1 ops1);
+        m
+      in
+      let naive = Explore.run ~mk ~final:opaque_final ~max_steps:40 () in
+      let dpor =
+        Explore.run ~mk ~final:opaque_final ~max_steps:40 ~mode:Explore.Dpor
+          ()
+      in
+      (not naive.Explore.exhausted)
+      && (not dpor.Explore.exhausted)
+      && naive.Explore.violations > 0 = (dpor.Explore.violations > 0)
+      && naive.Explore.first_violation <> None
+         = (dpor.Explore.first_violation <> None)
+      && dpor.Explore.paths <= naive.Explore.paths)
+
+(* ------------------------------------------------------------------ *)
+(* Budget safety: the path budget returns partial stats, never raises,  *)
+(* and the bound is strict.                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* TAS with two processes at max_steps 24 has exactly 4096 leaves
+   (1938 complete + 2158 cut) — a fixture for the strict bound. *)
+let test_budget_exact () =
+  let mk = mk_mutex (module Tas) in
+  let full = Explore.run ~mk ~max_steps:24 ~max_paths:4096 () in
+  Alcotest.(check bool) "budget == leaves: complete" false
+    full.Explore.exhausted;
+  Alcotest.(check int) "complete paths" 1938 full.Explore.paths;
+  Alcotest.(check int) "cut paths" 2158 full.Explore.cut
+
+let test_budget_strict () =
+  let mk = mk_mutex (module Tas) in
+  let partial = Explore.run ~mk ~max_steps:24 ~max_paths:4095 () in
+  Alcotest.(check bool) "one leaf short: exhausted" true
+    partial.Explore.exhausted;
+  Alcotest.(check int) "exactly max_paths leaves admitted, not one more"
+    4095
+    (partial.Explore.paths + partial.Explore.cut)
+
+let test_budget_preserves_witness () =
+  List.iter
+    (fun mode ->
+      let s =
+        Explore.run ~mk:mk_lossy ~final:(counter_is 3) ~max_steps:12
+          ~max_paths:20 ~mode ()
+      in
+      Alcotest.(check bool) "exhausted" true s.Explore.exhausted;
+      Alcotest.(check bool) "violations found before the budget tripped"
+        true
+        (s.Explore.violations > 0);
+      Alcotest.(check bool) "witness preserved" true
+        (s.Explore.first_violation <> None))
+    [ Explore.Naive; Explore.Dpor ]
+
+let test_progress_callback () =
+  let calls = ref 0 in
+  let last = ref 0 in
+  let s =
+    Explore.run
+      ~mk:(mk_mutex (module Tas))
+      ~max_steps:24
+      ~progress:(fun st ->
+        incr calls;
+        let leaves = st.Explore.paths + st.Explore.cut in
+        Alcotest.(check bool) "monotone" true (leaves > !last);
+        last := leaves)
+      ~progress_every:1000 ()
+  in
+  Alcotest.(check int) "called once per 1000 leaves" 4 !calls;
+  Alcotest.(check int) "all leaves admitted" 4096
+    (s.Explore.paths + s.Explore.cut)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel exploration across domains.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_domains_naive_partition () =
+  let mk = mk_mutex (module Ticket) in
+  let s1 = Explore.run ~mk ~final:(counter_is 2) ~max_steps:24 () in
+  let s2 =
+    Explore.run ~mk ~final:(counter_is 2) ~max_steps:24 ~domains:2 ()
+  in
+  Alcotest.(check bool) "two domains visit the same stats" true (s1 = s2)
+
+let test_domains_dpor () =
+  let mk = mk_mutex (module Ticket) ~nprocs:3 in
+  let d1 =
+    Explore.run ~mk ~final:(counter_is 3) ~max_steps:36
+      ~mode:Explore.Dpor ()
+  in
+  let run3 () =
+    Explore.run ~mk ~final:(counter_is 3) ~max_steps:36 ~mode:Explore.Dpor
+      ~domains:3 ()
+  in
+  let a = run3 () and b = run3 () in
+  Alcotest.(check bool) "parallel dpor is deterministic" true (a = b);
+  Alcotest.(check bool) "search completed" false a.Explore.exhausted;
+  Alcotest.(check bool) "same verdict as one domain"
+    (d1.Explore.violations > 0)
+    (a.Explore.violations > 0)
+
+(* Three-process mutual exclusion is out of reach for the naive search at
+   these depths; the reduction brings it into budget. *)
+let test_three_process_mutex_dpor () =
+  List.iter
+    (fun ((module L : Mutex_intf.S), max_steps) ->
+      let s =
+        Explore.run
+          ~mk:(mk_mutex (module L) ~nprocs:3)
+          ~final:(counter_is 3) ~max_steps ~max_paths:2_000_000
+          ~mode:Explore.Dpor ~domains:3 ()
+      in
+      Alcotest.(check bool) (L.name ^ ": search completed") false
+        s.Explore.exhausted;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: no violation in %d complete paths (%d cut)"
+           L.name s.Explore.paths s.Explore.cut)
+        0 s.Explore.violations)
+    [ ((module Ticket), 36); ((module Mcs), 40) ]
+
 let lock_cases =
   List.map
     (fun ((module L : Mutex_intf.S), max_steps, max_paths) ->
@@ -299,5 +612,43 @@ let () =
           Alcotest.test_case "broken lock found" `Quick test_detects_broken;
           Alcotest.test_case "racy lock found" `Quick test_detects_racy;
           Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+      ( "dpor-differential",
+        [
+          Alcotest.test_case "undolog aba >= 5x reduction" `Slow
+            test_undolog_aba_reduction;
+        ]
+        @ dpor_tm_cases
+        @ [
+            Alcotest.test_case "ostm (shallow differential)" `Slow
+              test_ostm_differential;
+            Alcotest.test_case "ostm (dpor, full depth)" `Slow
+              test_ostm_dpor_full_depth;
+          ] );
+      ( "dpor-single-object",
+        dpor_single_object_cases
+        @ [
+            Alcotest.test_case "broken lock" `Quick test_differential_broken;
+            Alcotest.test_case "racy lock" `Quick test_differential_racy;
+            Alcotest.test_case "lossy counter" `Quick test_differential_lossy;
+            QCheck_alcotest.to_alcotest prop_dpor_matches_naive;
+          ] );
+      ( "budget",
+        [
+          Alcotest.test_case "exact leaf count admitted" `Quick
+            test_budget_exact;
+          Alcotest.test_case "strict bound" `Quick test_budget_strict;
+          Alcotest.test_case "witness preserved under budget" `Quick
+            test_budget_preserves_witness;
+          Alcotest.test_case "progress callback" `Quick
+            test_progress_callback;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "naive partition matches" `Quick
+            test_domains_naive_partition;
+          Alcotest.test_case "dpor across domains" `Quick test_domains_dpor;
+          Alcotest.test_case "three-process mutexes" `Slow
+            test_three_process_mutex_dpor;
         ] );
     ]

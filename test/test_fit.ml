@@ -32,6 +32,19 @@ let test_fit_degenerate () =
   let c, _ = Fit.fit_one (fun _ -> 0.) [ (1., 5.); (2., 5.) ] in
   Alcotest.(check bool) "zero basis" true (c = 0.)
 
+(* Regression: on an exact R² tie the lowest-order candidate must win. A
+   single point fits every shape with R² = 1; reporting "m^2" for it
+   claimed quadratic growth from data that supports no such thing. *)
+let test_fit_tie_prefers_low_order () =
+  let single = Fit.best ~candidates:Fit.shapes_m [ (4., 8.) ] in
+  Alcotest.(check string) "single point is linear" "m" single.Fit.shape;
+  Alcotest.(check bool) "and a perfect fit" true (single.Fit.r2 > 0.999999);
+  let single_n = Fit.best ~candidates:Fit.shapes_n [ (4., 8.) ] in
+  Alcotest.(check string) "same for n shapes" "n" single_n.Fit.shape;
+  (* all-zero series: every candidate has c = 0 and r2 = 1 *)
+  let zeros = Fit.best ~candidates:Fit.shapes_m [ (2., 0.); (4., 0.) ] in
+  Alcotest.(check string) "zero series is linear" "m" zeros.Fit.shape
+
 (* ------------------------------------------------------------------ *)
 (* Headline shapes from actual measurements                            *)
 (* ------------------------------------------------------------------ *)
@@ -115,6 +128,8 @@ let () =
           Alcotest.test_case "shape selection" `Quick
             test_fit_selects_right_shape;
           Alcotest.test_case "degenerate" `Quick test_fit_degenerate;
+          Alcotest.test_case "tie prefers low order" `Quick
+            test_fit_tie_prefers_low_order;
         ] );
       ( "measured-shapes",
         [

@@ -400,6 +400,27 @@ let test_rmr_write_back () =
   Alcotest.(check int) "p0" 2 c.Rmr.per_pid.(0);
   Alcotest.(check int) "p1" 2 c.Rmr.per_pid.(1)
 
+(* Regression: a write-through store must not invalidate the writer's own
+   cached copy — the store updates the line in place on its way to memory.
+   A writer re-reading its own location right after the store is local. *)
+let test_rmr_write_through_writer_keeps_line () =
+  let mem, tr =
+    mk_rmr_trace
+      [
+        (0, 0, Primitive.Write (Value.Int 1)) (* RMR (WT always) *);
+        (0, 0, Primitive.Read) (* own line still valid: local *);
+        (0, 0, Primitive.Read) (* still local *);
+        (1, 0, Primitive.Read) (* miss: RMR, caches *);
+        (0, 0, Primitive.Write (Value.Int 2)) (* RMR; invalidates p1 only *);
+        (0, 0, Primitive.Read) (* local *);
+        (1, 0, Primitive.Read) (* invalidated: RMR *);
+      ]
+  in
+  let c = Rmr.count Rmr.Cc_write_through ~nprocs:2 mem tr in
+  Alcotest.(check int) "total" 4 c.Rmr.total;
+  Alcotest.(check int) "p0" 2 c.Rmr.per_pid.(0);
+  Alcotest.(check int) "p1" 2 c.Rmr.per_pid.(1)
+
 let test_rmr_failed_cas_is_write_access () =
   let mem, tr =
     mk_rmr_trace
@@ -475,6 +496,8 @@ let () =
           Alcotest.test_case "dsm" `Quick test_rmr_dsm;
           Alcotest.test_case "write-through" `Quick test_rmr_write_through;
           Alcotest.test_case "write-back" `Quick test_rmr_write_back;
+          Alcotest.test_case "write-through writer keeps own line" `Quick
+            test_rmr_write_through_writer_keeps_line;
           Alcotest.test_case "failed cas is write access" `Quick
             test_rmr_failed_cas_is_write_access;
           Alcotest.test_case "local spin free" `Quick
