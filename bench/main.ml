@@ -11,12 +11,17 @@
      E8  Extension: contention sweep + hotspot-skew ablation
      E9  Extension: RMRs of a fixed transactional workload per TM
      E10 Extension: schedule-space reduction of the DPOR explorer
+     E11 Extension: explorer throughput (paths/s, steps/s) with the trace
+         sink on/off, naive vs DPOR vs frontier-parallel; emits
+         BENCH_explore.json
 
    plus Bechamel wall-clock micro-benchmarks of the simulator itself (one
    Test.make per experiment driver and per TM).
 
-     dune exec bench/main.exe           # all experiment tables + timings
-     dune exec bench/main.exe -- fast   # skip the Bechamel timing pass
+     dune exec bench/main.exe             # all experiment tables + timings
+     dune exec bench/main.exe -- fast     # skip the Bechamel timing pass
+     dune exec bench/main.exe -- e11      # only the explorer throughput pass
+     dune exec bench/main.exe -- e11 quick  # CI perf-smoke (small time budget)
 *)
 
 open Ptm_core
@@ -369,7 +374,7 @@ let e10 () =
      verdicts)";
   let mk_tm (module T : Tm_intf.S) () =
     let module R = Runner.Make (T) in
-    let m = Ptm_machine.Machine.create ~nprocs:2 in
+    let m = Ptm_machine.Machine.create ~nprocs:2 () in
     let ctx = R.init m ~nobjs:2 in
     Ptm_machine.Machine.spawn m 0 (fun () ->
         let tx = R.begin_tx ctx ~pid:0 in
@@ -390,7 +395,7 @@ let e10 () =
     m
   in
   let mk_mutex (module L : Ptm_mutex.Mutex_intf.S) () =
-    let m = Ptm_machine.Machine.create ~nprocs:2 in
+    let m = Ptm_machine.Machine.create ~nprocs:2 () in
     let lock = L.create m ~nprocs:2 in
     let c = Ptm_machine.Machine.alloc m ~name:"c" (Ptm_machine.Value.Int 0) in
     for pid = 0 to 1 do
@@ -434,6 +439,144 @@ let e10 () =
      only reorder independent (distinct-address or read-read) steps are@.\
      explored once. The verdicts agree with the naive search on every@.\
      config (asserted above; the differential test suite checks more).@."
+
+(* ------------------------------------------------------------------ *)
+(* E11: explorer throughput — naive vs DPOR vs parallel, trace on/off  *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock throughput of the schedule explorer itself: complete paths,
+   leaves (complete + cut) and machine steps per second, for the naive and
+   DPOR searches, single-domain and frontier-parallel, with the trace sink
+   on ([Full]) and off. The verdict and path counts are asserted identical
+   across every cell — the sink and the domain count must never change what
+   the search finds. Results are printed as a table and dumped to
+   BENCH_explore.json for the CI perf-smoke artifact. *)
+let e11 ?(quick = false) () =
+  hr
+    "E11. Explorer throughput: paths/s and steps/s, naive vs DPOR vs \
+     parallel, trace on/off";
+  let mk_tm (module T : Tm_intf.S) trace () =
+    let module R = Runner.Make (T) in
+    let m = Ptm_machine.Machine.create ~trace ~nprocs:2 () in
+    let ctx = R.init m ~nobjs:2 in
+    Ptm_machine.Machine.spawn m 0 (fun () ->
+        let tx = R.begin_tx ctx ~pid:0 in
+        match R.read ctx tx 0 with
+        | Error `Abort -> ()
+        | Ok _ -> (
+            match R.write ctx tx 1 10 with
+            | Error `Abort -> ()
+            | Ok () -> ignore (R.commit ctx tx)));
+    Ptm_machine.Machine.spawn m 1 (fun () ->
+        let tx = R.begin_tx ctx ~pid:1 in
+        match R.write ctx tx 0 20 with
+        | Error `Abort -> ()
+        | Ok () -> (
+            match R.read ctx tx 1 with
+            | Error `Abort -> ()
+            | Ok _ -> ignore (R.commit ctx tx)));
+    m
+  in
+  let mk_mutex (module L : Ptm_mutex.Mutex_intf.S) trace () =
+    let m = Ptm_machine.Machine.create ~trace ~nprocs:2 () in
+    let lock = L.create m ~nprocs:2 in
+    let c = Ptm_machine.Machine.alloc m ~name:"c" (Ptm_machine.Value.Int 0) in
+    for pid = 0 to 1 do
+      Ptm_machine.Machine.spawn m pid (fun () ->
+          L.enter lock ~pid;
+          let v = Ptm_machine.Proc.read_int c in
+          Ptm_machine.Proc.write c (Ptm_machine.Value.Int (v + 1));
+          L.exit_cs lock ~pid)
+    done;
+    m
+  in
+  (* OSTM's naive schedule space at depth 40 is far beyond the default
+     budget, so it gets an explicit (deterministic) leaf cap: the naive
+     rows report budgeted-search throughput, the DPOR rows complete. *)
+  let configs =
+    [
+      ("undolog-aba", mk_tm (module Ptm_tms.Undolog), 40, 4_000_000);
+      ("ostm", mk_tm (module Ptm_tms.Ostm), 40, if quick then 20_000 else 100_000);
+      ("tas-mutex", mk_mutex (module Ptm_mutex.Tas), 24, 4_000_000);
+      ("ticket-mutex", mk_mutex (module Ptm_mutex.Ticket), 24, 4_000_000);
+    ]
+  in
+  let modes =
+    [ ("naive", Ptm_machine.Explore.Naive, 1);
+      ("dpor", Ptm_machine.Explore.Dpor, 1);
+      ("dpor-par2", Ptm_machine.Explore.Dpor, 2) ]
+  in
+  let sinks =
+    [ ("full", Ptm_machine.Trace.Full); ("off", Ptm_machine.Trace.Off) ]
+  in
+  let min_time = if quick then 0.02 else 0.2 in
+  let cells = ref [] in
+  Fmt.pr "%-14s %-10s %-5s %10s %6s %12s %12s %12s@." "config" "mode" "trace"
+    "paths" "cut" "paths/s" "leaves/s" "steps/s";
+  List.iter
+    (fun (cname, mk, max_steps, max_paths) ->
+      let verdict_ref = ref None in
+      let paths_ref : (string, int) Hashtbl.t = Hashtbl.create 4 in
+      List.iter
+        (fun (mname, mode, domains) ->
+          List.iter
+            (fun (sname, sink) ->
+              let run1 () =
+                Ptm_machine.Explore.run ~mk:(mk sink) ~max_steps ~max_paths
+                  ~mode ~domains ()
+              in
+              (* adaptive repetition: run until [min_time] has elapsed so
+                 the tiny DPOR searches aren't timed at clock granularity *)
+              let t0 = Unix.gettimeofday () in
+              let s = ref (run1 ()) in
+              let reps = ref 1 in
+              while Unix.gettimeofday () -. t0 < min_time do
+                s := run1 ();
+                incr reps
+              done;
+              let dt = Unix.gettimeofday () -. t0 in
+              let s = !s in
+              let open Ptm_machine.Explore in
+              (* the sink must never change the search: identical verdict
+                 in every cell and identical path counts between the Full
+                 and Off rows of each (mode, domains) pair (DPOR may count
+                 fewer paths than naive, and the frontier split may explore
+                 a superset of the single-domain persistent sets) *)
+              (match !verdict_ref with
+              | None -> verdict_ref := Some (s.violations > 0)
+              | Some v -> assert (v = (s.violations > 0)));
+              (match Hashtbl.find_opt paths_ref mname with
+              | None -> Hashtbl.add paths_ref mname s.paths
+              | Some rpaths -> assert (rpaths = s.paths));
+              let leaves = s.paths + s.cut in
+              let per x = float_of_int (x * !reps) /. dt in
+              Fmt.pr "%-14s %-10s %-5s %10d %6d %12.0f %12.0f %12.0f@." cname
+                mname sname s.paths s.cut (per s.paths) (per leaves)
+                (per s.steps);
+              cells :=
+                Printf.sprintf
+                  "    {\"config\":%S,\"mode\":%S,\"trace\":%S,\"paths\":%d,\
+                   \"cut\":%d,\"pruned\":%d,\"violations\":%d,\"replays\":%d,\
+                   \"steps\":%d,\"repeats\":%d,\"elapsed_s\":%.4f,\
+                   \"paths_per_sec\":%.1f,\"leaves_per_sec\":%.1f,\
+                   \"steps_per_sec\":%.1f}"
+                  cname mname sname s.paths s.cut s.pruned s.violations
+                  s.replays s.steps !reps dt (per s.paths) (per leaves)
+                  (per s.steps)
+                :: !cells)
+            sinks)
+        modes)
+    configs;
+  let oc = open_out "BENCH_explore.json" in
+  output_string oc "{\n  \"experiment\": \"E11\",\n  \"cells\": [\n";
+  output_string oc (String.concat ",\n" (List.rev !cells));
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  Fmt.pr
+    "@.trace=off machines allocate no trace entries and the explorer keeps@.\
+     its schedules, sleep and backtrack sets in flat ints, so the remaining@.\
+     per-step cost is the effect-handler fiber switch and the per-replay@.\
+     machine construction. Wrote BENCH_explore.json.@."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks of the experiment drivers      *)
@@ -498,16 +641,22 @@ let bechamel_pass () =
     (List.sort compare names)
 
 let () =
-  let fast = Array.exists (fun a -> a = "fast") Sys.argv in
+  let arg a = Array.exists (fun x -> x = a) Sys.argv in
+  let fast = arg "fast" in
+  let quick = arg "quick" in
   Fmt.pr
     "Progressive Transactional Memory in Time and Space — experiment suite@.";
-  e1 ();
-  e2_e3 ();
-  e4 ();
-  e5_e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  if not fast then bechamel_pass ();
+  if arg "e11" then e11 ~quick ()
+  else begin
+    e1 ();
+    e2_e3 ();
+    e4 ();
+    e5_e6 ();
+    e7 ();
+    e8 ();
+    e9 ();
+    e10 ();
+    e11 ~quick ();
+    if not fast then bechamel_pass ()
+  end;
   Fmt.pr "@.done.@."

@@ -28,6 +28,24 @@ let tm_conv =
   let print ppf (module T : Ptm_core.Tm_intf.S) = Fmt.string ppf T.name in
   Arg.conv (parse, print)
 
+let sink_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "off" -> Ok Ptm_machine.Trace.Off
+    | "full" -> Ok Ptm_machine.Trace.Full
+    | s when String.length s > 5 && String.sub s 0 5 = "ring:" -> (
+        match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+        | Some n when n > 0 -> Ok (Ptm_machine.Trace.Ring n)
+        | _ -> Error (`Msg "ring capacity must be a positive integer"))
+    | _ -> Error (`Msg (Printf.sprintf "unknown trace sink %S (off|ring:N|full)" s))
+  in
+  let print ppf = function
+    | Ptm_machine.Trace.Off -> Fmt.string ppf "off"
+    | Ptm_machine.Trace.Ring n -> Fmt.pf ppf "ring:%d" n
+    | Ptm_machine.Trace.Full -> Fmt.string ppf "full"
+  in
+  Arg.conv (parse, print)
+
 let lock_conv =
   let parse s =
     match Ptm_mutex.Mutex_registry.by_name s with
@@ -269,10 +287,20 @@ let explore_cmd =
       & info [ "progress" ] ~docv:"K"
           ~doc:"Print a progress line to stderr every $(docv) leaves (0: off).")
   in
+  let trace_arg =
+    Arg.(
+      value
+      & opt sink_conv Ptm_machine.Trace.Off
+      & info [ "trace" ] ~docv:"SINK"
+          ~doc:
+            "Trace sink for the explored machines: $(b,off) (allocation-free \
+             hot path, the default — verdicts here are crash-based and need \
+             no trace), $(b,ring:N) (keep the last N entries) or $(b,full).")
+  in
   let run (module L : Ptm_mutex.Mutex_intf.S) max_steps nprocs max_paths
-      reduce domains compare progress_every =
+      reduce domains compare progress_every trace =
     let mk () =
-      let m = Ptm_machine.Machine.create ~nprocs in
+      let m = Ptm_machine.Machine.create ~trace ~nprocs () in
       let lock = L.create m ~nprocs in
       let c = Ptm_machine.Machine.alloc m ~name:"c" (Ptm_machine.Value.Int 0) in
       let occupancy = ref 0 in
@@ -331,7 +359,7 @@ let explore_cmd =
           reduction and parallel domains.")
     Term.(
       const run $ lock_arg $ steps_arg $ procs_arg $ paths_arg $ reduce_arg
-      $ domains_arg $ compare_arg $ progress_arg)
+      $ domains_arg $ compare_arg $ progress_arg $ trace_arg)
 
 (* ---------------- props ---------------- *)
 

@@ -17,7 +17,7 @@ let transfers = 12
 let run_bank (module T : Tm_intf.S) seed =
   let module R = Runner.Make (T) in
   (* one extra process for the final audit transaction *)
-  let machine = Machine.create ~nprocs:(nprocs + 1) in
+  let machine = Machine.create ~nprocs:(nprocs + 1) () in
   let ctx = R.init machine ~nobjs:naccounts in
   let rng = Random.State.make [| seed |] in
   let plans =

@@ -28,7 +28,7 @@ module Racy_lock : Mutex_intf.S = struct
 end
 
 let mk (module L : Mutex_intf.S) () =
-  let m = Machine.create ~nprocs:2 in
+  let m = Machine.create ~nprocs:2 () in
   let lock = L.create m ~nprocs:2 in
   let c = Machine.alloc m ~name:"c" (Value.Int 0) in
   let occupancy = ref 0 in
@@ -86,7 +86,7 @@ let () =
     (Explore.reduction_ratio ~naive ~reduced);
   assert (reduced.Explore.violations = 0 && naive.Explore.violations = 0);
   let mk3 () =
-    let m = Machine.create ~nprocs:3 in
+    let m = Machine.create ~nprocs:3 () in
     let lock = Mcs.create m ~nprocs:3 in
     for pid = 0 to 2 do
       Machine.spawn m pid (fun () ->

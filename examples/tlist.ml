@@ -133,7 +133,7 @@ let () =
   let module L = Make (T) in
   let nprocs = 4 in
   let auditor = nprocs in
-  let machine = Machine.create ~nprocs:(nprocs + 2) in
+  let machine = Machine.create ~nprocs:(nprocs + 2) () in
   let t = L.setup machine in
   let plans =
     let rng = Random.State.make [| 14 |] in

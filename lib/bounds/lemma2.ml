@@ -39,7 +39,7 @@ let nv = 42
    read values, and T_phi's memory events during the prefix reads. *)
 let exec (module T : Ptm_core.Tm_intf.S) ~i ~writer_first =
   let module R = Ptm_core.Runner.Make (T) in
-  let machine = Machine.create ~nprocs:2 in
+  let machine = Machine.create ~nprocs:2 () in
   let ctx = R.init machine ~nobjs:i in
   let prefix = ref [] in
   let result = ref Aborted in

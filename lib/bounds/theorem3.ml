@@ -50,7 +50,7 @@ type case = {
 
 let run_case (module T : Ptm_core.Tm_intf.S) ~m ~i ~ell ~with_commit =
   let module R = Ptm_core.Runner.Make (T) in
-  let machine = Machine.create ~nprocs:3 in
+  let machine = Machine.create ~nprocs:3 () in
   let ctx = R.init machine ~nobjs:m in
   let results = Array.make (m + 1) `Pending in
   (* T_phi: m reads with a pause after each, then tryC. *)
@@ -106,14 +106,15 @@ let run_case (module T : Ptm_core.Tm_intf.S) ~m ~i ~ell ~with_commit =
   Machine.check_crashes machine;
   let steps = Machine.steps_of machine 0 - steps0 in
   let distinct =
+    (* indexed scan from the mark — no per-call list rebuild of the whole
+       trace (this used to be quadratic over the construction) *)
     let seen = Hashtbl.create 16 in
-    List.iteri
-      (fun idx entry ->
-        match entry with
-        | Trace.Mem e when idx >= mark && e.Trace.pid = 0 ->
-            Hashtbl.replace seen e.Trace.addr ()
-        | _ -> ())
-      (Trace.entries (Machine.trace machine));
+    Trace.iter_from
+      (Machine.trace machine)
+      mark
+      (function
+        | Trace.Mem e when e.Trace.pid = 0 -> Hashtbl.replace seen e.Trace.addr ()
+        | _ -> ());
     Hashtbl.length seen
   in
   let result =
@@ -128,20 +129,33 @@ let run_case (module T : Ptm_core.Tm_intf.S) ~m ~i ~ell ~with_commit =
     match ell with
     | None -> false
     | Some _ ->
-        let accesses pid =
-          List.filter_map
-            (fun entry ->
-              match entry with
-              | Trace.Mem e when e.Trace.pid = pid ->
-                  Some (e.Trace.addr, Primitive.is_nontrivial e.Trace.prim)
-              | _ -> None)
-            (Trace.entries (Machine.trace machine))
-        in
-        let a1 = accesses 1 and a2 = accesses 2 in
-        List.exists
-          (fun (addr, nt1) ->
-            List.exists (fun (addr2, nt2) -> addr = addr2 && (nt1 || nt2)) a2)
-          a1
+        (* single indexed pass: per address touched by the beta writer
+           (pid 1), record whether any of its accesses was nontrivial; then
+           one lookup per rho access (pid 2). Replaces two full
+           [Trace.entries] rebuilds and a nested quadratic scan. *)
+        let beta = Hashtbl.create 16 in
+        Trace.iter
+          (Machine.trace machine)
+          (function
+            | Trace.Mem e when e.Trace.pid = 1 ->
+                let nt = Primitive.is_nontrivial e.Trace.prim in
+                let prev =
+                  try Hashtbl.find beta e.Trace.addr with Not_found -> false
+                in
+                Hashtbl.replace beta e.Trace.addr (prev || nt)
+            | _ -> ());
+        let contend = ref false in
+        Trace.iter
+          (Machine.trace machine)
+          (function
+            | Trace.Mem e when e.Trace.pid = 2 && not !contend -> (
+                match Hashtbl.find_opt beta e.Trace.addr with
+                | Some nt1 ->
+                    if nt1 || Primitive.is_nontrivial e.Trace.prim then
+                      contend := true
+                | None -> ())
+            | _ -> ());
+        !contend
   in
   {
     c_steps = steps;

@@ -11,7 +11,7 @@ type cost = {
 
 let read_only_cost (module T : Ptm_core.Tm_intf.S) ~m =
   let module R = Ptm_core.Runner.Make (T) in
-  let machine = Machine.create ~nprocs:1 in
+  let machine = Machine.create ~nprocs:1 () in
   let ctx = R.init machine ~nobjs:m in
   let committed = ref false in
   Machine.spawn machine 0 (fun () ->

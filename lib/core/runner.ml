@@ -103,7 +103,7 @@ let run (module T : Tm_intf.S) ?(retries = 0) ?max_steps ~schedule
     (w : Workload.t) =
   let module R = Make (T) in
   let nprocs = Array.length w.Workload.procs in
-  let machine = Machine.create ~nprocs in
+  let machine = Machine.create ~nprocs () in
   let ctx = R.init machine ~nobjs:w.Workload.nobjs in
   let commits = ref 0 and aborts = ref 0 in
   let exec_tx pid (spec : Workload.tx_spec) =

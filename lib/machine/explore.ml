@@ -5,13 +5,15 @@ type stats = {
   violations : int;
   first_violation : int list option;
   exhausted : bool;
+  replays : int;
+  steps : int;
 }
 
 type mode = Naive | Dpor
 
 let pp_stats ppf s =
-  Fmt.pf ppf "paths=%d cut=%d pruned=%d violations=%d%s%s" s.paths s.cut
-    s.pruned s.violations
+  Fmt.pf ppf "paths=%d cut=%d pruned=%d violations=%d replays=%d steps=%d%s%s"
+    s.paths s.cut s.pruned s.violations s.replays s.steps
     (match s.first_violation with
     | None -> ""
     | Some w ->
@@ -22,34 +24,89 @@ let pp_stats ppf s =
 let reduction_ratio ~naive ~reduced =
   float_of_int naive.paths /. float_of_int (max 1 reduced.paths)
 
+(* The search state is deliberately allocation-free: schedules are grow-only
+   int arrays, process sets are int bitmasks (hence the [max_procs] bound),
+   and pending transitions are packed into ints. The machine's own stepping
+   (with the trace sink off) allocates nothing either, so the only
+   allocations on a path are the fresh machines built by sibling replays. *)
+
+let max_procs = 62
+
 (* Internal: unwinds the current worker's search when the shared path budget
    trips; caught at the worker top, never escapes [run]. *)
 exception Budget
 
-(* The transition a runnable process will take when next scheduled: the
-   memory event it is poised to apply, or a voluntary pause (which touches
-   no base object). *)
-type pending = Pmem of { addr : int; trivial : bool } | Ppause
+(* ------------------------------------------------------------------ *)
+(* Packed pending transitions.                                         *)
+(*                                                                     *)
+(* The transition a runnable process will take when next scheduled is   *)
+(* either the memory event it is poised to apply — encoded as           *)
+(* [addr * 2 + trivial?] — or a voluntary pause (no base object),       *)
+(* encoded as -1. Dependence of two transitions, derived exactly as     *)
+(* the events would be recorded: same process (program order), or two   *)
+(* accesses to the same base object of which at least one is            *)
+(* nontrivial. Pauses commute with every other process's step; trivial  *)
+(* primitives (Read, Ll) on the same address commute with each other.   *)
+(* Conditional primitives (Cas, Sc, Tas) are classified nontrivial even *)
+(* when they would fail — a sound over-approximation.                   *)
+(* ------------------------------------------------------------------ *)
 
-let pending_of m pid =
+let pause_pend = -1
+
+let pend_of m pid =
   match Machine.poised m pid with
   | Some { Proc.addr; prim } ->
-      Pmem { addr; trivial = Primitive.is_trivial prim }
-  | None -> Ppause
+      (addr lsl 1) lor (if Primitive.is_trivial prim then 1 else 0)
+  | None -> pause_pend
 
-(* Dependence of two transitions, derived from the trace-event shape exactly
-   as the events would be recorded: same process (program order), or two
-   accesses to the same base object of which at least one is nontrivial.
-   Pauses produce no event and commute with every other process's step;
-   trivial primitives (Read, Ll) on the same address commute with each
-   other. Conditional primitives (Cas, Sc, Tas) are classified nontrivial
-   here even when they would fail — a sound over-approximation. *)
-let dependent (p, tp) (q, tq) =
+let dependent p ep q eq =
   p = q
-  ||
-  match (tp, tq) with
-  | Pmem a, Pmem b -> a.addr = b.addr && not (a.trivial && b.trivial)
-  | _ -> false
+  || (ep >= 0 && eq >= 0
+     && ep lsr 1 = eq lsr 1
+     && not (ep land 1 = 1 && eq land 1 = 1))
+
+(* Bitmask of runnable pids; assumes nprocs <= max_procs (checked once in
+   [run]). *)
+let live_mask m =
+  let n = Machine.nprocs m in
+  let mask = ref 0 in
+  for pid = 0 to n - 1 do
+    if Machine.is_runnable m pid then mask := !mask lor (1 lsl pid)
+  done;
+  !mask
+
+let lowest_bit mask =
+  let b = mask land -mask in
+  (* b is a power of two; return its index *)
+  let rec go i v = if v <= 1 then i else go (i + 1) (v lsr 1) in
+  go 0 b
+
+(* ------------------------------------------------------------------ *)
+(* Schedules: a grow-only int array used as a stack along the current   *)
+(* path. Replay walks the prefix in place — no List.rev per sibling.    *)
+(* ------------------------------------------------------------------ *)
+
+type sched = { mutable s_a : int array; mutable s_n : int }
+
+let sched_make () = { s_a = Array.make 64 0; s_n = 0 }
+
+let sched_reset sc prefix =
+  if Array.length prefix > Array.length sc.s_a then
+    sc.s_a <- Array.make (2 * Array.length prefix) 0;
+  Array.blit prefix 0 sc.s_a 0 (Array.length prefix);
+  sc.s_n <- Array.length prefix
+
+let sched_push sc pid =
+  if sc.s_n >= Array.length sc.s_a then begin
+    let fresh = Array.make (2 * Array.length sc.s_a) 0 in
+    Array.blit sc.s_a 0 fresh 0 sc.s_n;
+    sc.s_a <- fresh
+  end;
+  sc.s_a.(sc.s_n) <- pid;
+  sc.s_n <- sc.s_n + 1
+
+let sched_pop sc = sc.s_n <- sc.s_n - 1
+let sched_to_list sc = Array.to_list (Array.sub sc.s_a 0 sc.s_n)
 
 (* Per-worker tallies; merged deterministically across domains. *)
 type acc = {
@@ -58,6 +115,8 @@ type acc = {
   mutable a_pruned : int;
   mutable a_violations : int;
   mutable a_first : int list option;
+  mutable a_replays : int;
+  mutable a_steps : int;
   mutable a_ticks : int;  (* leaves since the last progress callback *)
 }
 
@@ -79,6 +138,8 @@ let fresh_acc () =
     a_pruned = 0;
     a_violations = 0;
     a_first = None;
+    a_replays = 0;
+    a_steps = 0;
     a_ticks = 0;
   }
 
@@ -90,6 +151,8 @@ let stats_of ctx acc =
     violations = acc.a_violations;
     first_violation = acc.a_first;
     exhausted = Atomic.get ctx.tripped;
+    replays = acc.a_replays;
+    steps = acc.a_steps;
   }
 
 (* Charge one leaf (complete or cut path) against the shared budget. The
@@ -107,72 +170,68 @@ let leaf ctx acc =
       f (stats_of ctx acc)
   | _ -> ()
 
-let note_violation acc rev_schedule =
+let note_violation acc sched =
   acc.a_violations <- acc.a_violations + 1;
-  if acc.a_first = None then acc.a_first <- Some (List.rev rev_schedule)
+  if acc.a_first = None then acc.a_first <- Some (sched_to_list sched)
 
-let replay ctx rev_schedule =
+let step1 acc m pid =
+  acc.a_steps <- acc.a_steps + 1;
+  ignore (Machine.step m pid : Machine.step_result)
+
+(* Re-execute the current prefix on a fresh machine. *)
+let replay ctx acc sched =
+  acc.a_replays <- acc.a_replays + 1;
+  acc.a_steps <- acc.a_steps + sched.s_n;
   let m = ctx.mk () in
-  List.iter
-    (fun pid -> ignore (Machine.step m pid : Machine.step_result))
-    (List.rev rev_schedule);
+  for i = 0 to sched.s_n - 1 do
+    ignore (Machine.step m sched.s_a.(i) : Machine.step_result)
+  done;
   m
-
-let crashed m =
-  let n = Machine.nprocs m in
-  let rec go pid =
-    if pid >= n then false
-    else
-      match Machine.status m pid with
-      | Machine.Crashed _ -> true
-      | _ -> go (pid + 1)
-  in
-  go 0
-
-let runnable m =
-  List.filter
-    (fun pid -> Machine.status m pid = Machine.Runnable)
-    (List.init (Machine.nprocs m) Fun.id)
 
 (* ------------------------------------------------------------------ *)
 (* Naive exhaustive DFS (the reference the reduction is validated      *)
 (* against). The first child of each node reuses the current machine   *)
 (* in place (machines are single-shot, but the first branch needs no   *)
 (* replay); every other sibling replays its prefix on a fresh machine  *)
-(* — one replay per extra branch, not per node.                        *)
+(* — one replay per extra branch, not per node. Siblings are visited   *)
+(* before the in-place head branch, preserving the PR 1 leaf order.    *)
 (* ------------------------------------------------------------------ *)
 
-let rec naive_dfs ctx acc m rev_schedule depth =
-  if crashed m then begin
+let rec naive_dfs ctx acc m sched depth =
+  if Machine.any_crashed m then begin
     leaf ctx acc;
     acc.a_paths <- acc.a_paths + 1;
-    note_violation acc rev_schedule
+    note_violation acc sched
   end
-  else
-    match runnable m with
-    | [] ->
-        leaf ctx acc;
-        acc.a_paths <- acc.a_paths + 1;
-        if not (ctx.final m) then note_violation acc rev_schedule
-    | live ->
-        if depth >= ctx.max_steps then begin
-          leaf ctx acc;
-          acc.a_cut <- acc.a_cut + 1
+  else begin
+    let live = live_mask m in
+    if live = 0 then begin
+      leaf ctx acc;
+      acc.a_paths <- acc.a_paths + 1;
+      if not (ctx.final m) then note_violation acc sched
+    end
+    else if depth >= ctx.max_steps then begin
+      leaf ctx acc;
+      acc.a_cut <- acc.a_cut + 1
+    end
+    else begin
+      let n = Machine.nprocs m in
+      let head = lowest_bit live in
+      for pid = head + 1 to n - 1 do
+        if live land (1 lsl pid) <> 0 then begin
+          let m' = replay ctx acc sched in
+          step1 acc m' pid;
+          sched_push sched pid;
+          naive_dfs ctx acc m' sched (depth + 1);
+          sched_pop sched
         end
-        else begin
-          let rest = List.tl live in
-          (* siblings first (they replay the current prefix), then the
-             head branch consumes [m] in place *)
-          List.iter
-            (fun pid ->
-              let m' = replay ctx rev_schedule in
-              ignore (Machine.step m' pid : Machine.step_result);
-              naive_dfs ctx acc m' (pid :: rev_schedule) (depth + 1))
-            rest;
-          let pid = List.hd live in
-          ignore (Machine.step m pid : Machine.step_result);
-          naive_dfs ctx acc m (pid :: rev_schedule) (depth + 1)
-        end
+      done;
+      step1 acc m head;
+      sched_push sched head;
+      naive_dfs ctx acc m sched (depth + 1);
+      sched_pop sched
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* DPOR: sleep sets + dynamically computed persistent (backtrack) sets *)
@@ -182,132 +241,162 @@ let rec naive_dfs ctx acc m rev_schedule depth =
 (* backtrack point, forcing the conflicting orders to be explored.     *)
 (* Sleep sets carry already-covered transitions into sibling subtrees  *)
 (* and prune them until a dependent step wakes them.                   *)
+(*                                                                     *)
+(* All process sets are bitmasks. A sleep set stores only pids: the    *)
+(* sleeping process has not been scheduled since it went to sleep, so  *)
+(* its poised transition is unchanged and can be re-read from the      *)
+(* current node's pending array — the assoc-list of (pid, transition)  *)
+(* pairs of PR 1 carried exactly this information.                     *)
 (* ------------------------------------------------------------------ *)
 
 type node = {
-  n_enabled : int list;
-  mutable n_backtrack : int list;
-  mutable n_done : int list;
-  mutable n_sleep : (int * pending) list;
-  mutable n_exec : (int * pending) option;
-      (* the transition taken from this node along the current path *)
+  mutable n_enabled : int;
+  mutable n_backtrack : int;
+  mutable n_done : int;
+  mutable n_sleep : int;
+  mutable n_exec_pid : int;  (* transition taken from this node; -1 = none *)
+  mutable n_exec_pend : int;
+  n_pend : int array;  (* packed pending transition per enabled pid *)
+  mutable n_active : bool;  (* on the current path (conflict-scan fence) *)
 }
 
-let slept sleep pid = List.exists (fun (q, _) -> q = pid) sleep
+let node_make nprocs =
+  {
+    n_enabled = 0;
+    n_backtrack = 0;
+    n_done = 0;
+    n_sleep = 0;
+    n_exec_pid = -1;
+    n_exec_pend = pause_pend;
+    n_pend = Array.make nprocs pause_pend;
+    n_active = false;
+  }
 
-let rec dpor_dfs ctx acc stack m rev_schedule depth sleep0 =
-  if crashed m then begin
+let stack_make ctx nprocs =
+  Array.init (ctx.max_steps + 1) (fun _ -> node_make nprocs)
+
+let rec dpor_dfs ctx acc stack m sched depth sleep0 =
+  if Machine.any_crashed m then begin
     leaf ctx acc;
     acc.a_paths <- acc.a_paths + 1;
-    note_violation acc rev_schedule
+    note_violation acc sched
   end
-  else
-    match runnable m with
-    | [] ->
-        leaf ctx acc;
-        acc.a_paths <- acc.a_paths + 1;
-        if not (ctx.final m) then note_violation acc rev_schedule
-    | live ->
-        if depth >= ctx.max_steps then begin
-          leaf ctx acc;
-          acc.a_cut <- acc.a_cut + 1
-        end
-        else begin
-          let pend = Array.make (Machine.nprocs m) Ppause in
-          List.iter (fun pid -> pend.(pid) <- pending_of m pid) live;
-          (* Conflict analysis: for each enabled transition, find the most
-             recent step of another process it depends on and add a
-             backtrack point there, so the reversed order is explored
-             too. If the transition's process was not enabled at that
-             node, conservatively back-track every enabled process. *)
-          List.iter
-            (fun q ->
-              let tq = (q, pend.(q)) in
-              let add nd r =
+  else begin
+    let live = live_mask m in
+    if live = 0 then begin
+      leaf ctx acc;
+      acc.a_paths <- acc.a_paths + 1;
+      if not (ctx.final m) then note_violation acc sched
+    end
+    else if depth >= ctx.max_steps then begin
+      leaf ctx acc;
+      acc.a_cut <- acc.a_cut + 1
+    end
+    else begin
+      let n = Machine.nprocs m in
+      let nd = stack.(depth) in
+      nd.n_enabled <- live;
+      nd.n_backtrack <- 0;
+      nd.n_done <- 0;
+      nd.n_sleep <- sleep0;
+      nd.n_exec_pid <- -1;
+      for pid = 0 to n - 1 do
+        nd.n_pend.(pid) <-
+          (if live land (1 lsl pid) <> 0 then pend_of m pid else pause_pend)
+      done;
+      (* Conflict analysis: for each enabled transition, find the most
+         recent step of another process it depends on and add a backtrack
+         point there, so the reversed order is explored too. If the
+         transition's process was not enabled at that node, conservatively
+         back-track every enabled process. *)
+      for q = 0 to n - 1 do
+        if live land (1 lsl q) <> 0 then begin
+          let eq = nd.n_pend.(q) in
+          let rec scan i =
+            if i >= 0 then begin
+              let a = stack.(i) in
+              if a.n_active then
                 if
-                  not (List.mem r nd.n_backtrack || List.mem r nd.n_done)
-                then nd.n_backtrack <- r :: nd.n_backtrack
-              in
-              let rec scan i =
-                if i >= 0 then
-                  match stack.(i) with
-                  | None -> ()
-                  | Some nd -> (
-                      match nd.n_exec with
-                      | Some ((p, _) as tp) when p <> q && dependent tp tq
-                        ->
-                          if List.mem q nd.n_enabled then add nd q
-                          else List.iter (add nd) nd.n_enabled
-                      | _ -> scan (i - 1))
-              in
-              scan (depth - 1))
-            live;
-          let nd =
-            {
-              n_enabled = live;
-              n_backtrack = [];
-              n_done = [];
-              n_sleep = sleep0;
-              n_exec = None;
-            }
+                  a.n_exec_pid >= 0 && a.n_exec_pid <> q
+                  && dependent a.n_exec_pid a.n_exec_pend q eq
+                then begin
+                  let add r =
+                    if
+                      a.n_backtrack land (1 lsl r) = 0
+                      && a.n_done land (1 lsl r) = 0
+                    then a.n_backtrack <- a.n_backtrack lor (1 lsl r)
+                  in
+                  if a.n_enabled land (1 lsl q) <> 0 then add q
+                  else
+                    for r = 0 to n - 1 do
+                      if a.n_enabled land (1 lsl r) <> 0 then add r
+                    done
+                end
+                else scan (i - 1)
+            end
           in
-          stack.(depth) <- Some nd;
-          (match List.find_opt (fun p -> not (slept nd.n_sleep p)) live with
-          | None ->
-              (* sleep-blocked: every enabled transition is covered by an
-                 already-explored sibling subtree *)
-              acc.a_pruned <- acc.a_pruned + 1
-          | Some p0 ->
-              nd.n_backtrack <- [ p0 ];
-              let in_place = ref (Some m) in
-              let rec branches () =
-                let candidate =
-                  List.fold_left
-                    (fun best q ->
-                      if List.mem q nd.n_done then best
-                      else
-                        match best with
-                        | Some b when b <= q -> best
-                        | _ -> Some q)
-                    None nd.n_backtrack
-                in
-                match candidate with
-                | None -> ()
-                | Some q ->
-                    nd.n_done <- q :: nd.n_done;
-                    if slept nd.n_sleep q then begin
-                      (* covered by the subtree that put [q] to sleep *)
-                      acc.a_pruned <- acc.a_pruned + 1;
-                      branches ()
-                    end
-                    else begin
-                      let tq = (q, pend.(q)) in
-                      let child_sleep =
-                        List.filter
-                          (fun s -> not (dependent tq s))
-                          nd.n_sleep
-                      in
-                      let m' =
-                        match !in_place with
-                        | Some m0 ->
-                            in_place := None;
-                            m0
-                        | None -> replay ctx rev_schedule
-                      in
-                      nd.n_exec <- Some tq;
-                      ignore (Machine.step m' q : Machine.step_result);
-                      dpor_dfs ctx acc stack m' (q :: rev_schedule)
-                        (depth + 1) child_sleep;
-                      nd.n_sleep <- tq :: nd.n_sleep;
-                      branches ()
-                    end
-              in
-              branches ());
-          stack.(depth) <- None
+          scan (depth - 1)
         end
+      done;
+      nd.n_active <- true;
+      let awake = live land lnot nd.n_sleep in
+      if awake = 0 then
+        (* sleep-blocked: every enabled transition is covered by an
+           already-explored sibling subtree *)
+        acc.a_pruned <- acc.a_pruned + 1
+      else begin
+        nd.n_backtrack <- 1 lsl lowest_bit awake;
+        let in_place = ref true in
+        let rec branches () =
+          let cand = nd.n_backtrack land lnot nd.n_done in
+          if cand <> 0 then begin
+            let q = lowest_bit cand in
+            nd.n_done <- nd.n_done lor (1 lsl q);
+            if nd.n_sleep land (1 lsl q) <> 0 then begin
+              (* covered by the subtree that put [q] to sleep *)
+              acc.a_pruned <- acc.a_pruned + 1;
+              branches ()
+            end
+            else begin
+              let eq = nd.n_pend.(q) in
+              (* sleeping transitions dependent on (q, eq) wake up: only
+                 the independent ones carry into the child *)
+              let child_sleep = ref 0 in
+              let rec filter rest =
+                if rest <> 0 then begin
+                  let s = lowest_bit rest in
+                  if not (dependent q eq s nd.n_pend.(s)) then
+                    child_sleep := !child_sleep lor (1 lsl s);
+                  filter (rest land (rest - 1))
+                end
+              in
+              filter nd.n_sleep;
+              let m' =
+                if !in_place then begin
+                  in_place := false;
+                  m
+                end
+                else replay ctx acc sched
+              in
+              nd.n_exec_pid <- q;
+              nd.n_exec_pend <- eq;
+              step1 acc m' q;
+              sched_push sched q;
+              dpor_dfs ctx acc stack m' sched (depth + 1) !child_sleep;
+              sched_pop sched;
+              nd.n_sleep <- nd.n_sleep lor (1 lsl q);
+              branches ()
+            end
+          end
+        in
+        branches ()
+      end;
+      nd.n_active <- false
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
-(* Driver: sequential, or split across domains at the root.            *)
+(* Driver: sequential, or a frontier work queue across domains.        *)
 (* ------------------------------------------------------------------ *)
 
 let empty_stats =
@@ -318,7 +407,103 @@ let empty_stats =
     violations = 0;
     first_violation = None;
     exhausted = false;
+    replays = 0;
+    steps = 0;
   }
+
+let merge_stats s r =
+  {
+    paths = s.paths + r.paths;
+    cut = s.cut + r.cut;
+    pruned = s.pruned + r.pruned;
+    violations = s.violations + r.violations;
+    first_violation =
+      (match s.first_violation with
+      | Some _ -> s.first_violation
+      | None -> r.first_violation);
+    exhausted = s.exhausted || r.exhausted;
+    replays = s.replays + r.replays;
+    steps = s.steps + r.steps;
+  }
+
+(* A subtree task for the parallel driver: the schedule prefix reaching the
+   node, plus (Dpor) the pids asleep on arrival. Sleeping processes are
+   unscheduled along the whole prefix, so their poised transitions are
+   recomputed from the replayed machine. *)
+type task = { t_prefix : int array; t_sleep : int }
+
+(* Expand one frontier node into its children, tallying any leaf it turns
+   out to be into [acc]. In Dpor mode every enabled transition becomes a
+   branch — a sound superset of any persistent set — and branch [i] starts
+   with the still-independent earlier branches asleep, exactly the PR 1
+   root-split rule applied at every frontier node. *)
+let expand_node ctx acc mode task' =
+  let sched = sched_make () in
+  sched_reset sched task'.t_prefix;
+  let m = replay ctx acc sched in
+  if Machine.any_crashed m then begin
+    leaf ctx acc;
+    acc.a_paths <- acc.a_paths + 1;
+    note_violation acc sched;
+    []
+  end
+  else begin
+    let live = live_mask m in
+    if live = 0 then begin
+      leaf ctx acc;
+      acc.a_paths <- acc.a_paths + 1;
+      if not (ctx.final m) then note_violation acc sched;
+      []
+    end
+    else if Array.length task'.t_prefix >= ctx.max_steps then begin
+      leaf ctx acc;
+      acc.a_cut <- acc.a_cut + 1;
+      []
+    end
+    else begin
+      let n = Machine.nprocs m in
+      let child q sleep =
+        let prefix = Array.make (Array.length task'.t_prefix + 1) q in
+        Array.blit task'.t_prefix 0 prefix 0 (Array.length task'.t_prefix);
+        { t_prefix = prefix; t_sleep = sleep }
+      in
+      match mode with
+      | Naive ->
+          let children = ref [] in
+          for q = n - 1 downto 0 do
+            if live land (1 lsl q) <> 0 then children := child q 0 :: !children
+          done;
+          !children
+      | Dpor ->
+          let pend = Array.make n pause_pend in
+          for q = 0 to n - 1 do
+            if live land (1 lsl q) <> 0 then pend.(q) <- pend_of m q
+          done;
+          let sleep = ref task'.t_sleep in
+          let children = ref [] in
+          for q = 0 to n - 1 do
+            if live land (1 lsl q) <> 0 then
+              if !sleep land (1 lsl q) <> 0 then
+                (* covered by an earlier sibling's subtree *)
+                acc.a_pruned <- acc.a_pruned + 1
+              else begin
+                let child_sleep = ref 0 in
+                let rec filter rest =
+                  if rest <> 0 then begin
+                    let s = lowest_bit rest in
+                    if not (dependent q pend.(q) s pend.(s)) then
+                      child_sleep := !child_sleep lor (1 lsl s);
+                    filter (rest land (rest - 1))
+                  end
+                in
+                filter !sleep;
+                children := child q !child_sleep :: !children;
+                sleep := !sleep lor (1 lsl q)
+              end
+          done;
+          List.rev !children
+    end
+  end
 
 let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
     ?(max_paths = 1_000_000) ?(mode = Naive) ?(domains = 1) ?progress
@@ -335,84 +520,88 @@ let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
       progress_every;
     }
   in
-  let explore_sub acc m rev_schedule depth sleep0 =
-    match mode with
-    | Naive -> naive_dfs ctx acc m rev_schedule depth
-    | Dpor ->
-        let stack = Array.make (max_steps + 1) None in
-        dpor_dfs ctx acc stack m rev_schedule depth sleep0
-  in
   let root = mk () in
-  let live0 = runnable root in
-  let nb = List.length live0 in
-  if domains <= 1 || nb <= 1 || max_steps <= 0 || crashed root then begin
+  let nprocs = Machine.nprocs root in
+  if nprocs > max_procs then
+    invalid_arg
+      (Printf.sprintf
+         "Explore.run: %d processes, but the bitmask sleep/backtrack sets \
+          support at most %d"
+         nprocs max_procs);
+  let explore_sub acc stack m sched depth sleep0 =
+    match mode with
+    | Naive -> naive_dfs ctx acc m sched depth
+    | Dpor -> dpor_dfs ctx acc stack m sched depth sleep0
+  in
+  if domains <= 1 || max_steps <= 0 || Machine.any_crashed root then begin
     let acc = fresh_acc () in
-    (try explore_sub acc root [] 0 [] with Budget -> ());
+    let stack =
+      match mode with Naive -> [||] | Dpor -> stack_make ctx nprocs
+    in
+    (try explore_sub acc stack root (sched_make ()) 0 0 with Budget -> ());
     stats_of ctx acc
   end
   else begin
-    (* Split the root branching factor: one task per root branch, workers
-       pulling tasks from a shared counter. Which domain runs which branch
-       is racy, but each branch's stats are a deterministic function of
-       (mk, branch), so the branch-ordered merge below is deterministic —
-       except when the budget trips, where the cross-domain interleaving
-       decides which leaves were admitted. In Dpor mode every root branch
-       is explored (a sound superset of the root persistent set); root
-       sleep sets still prune: branch i starts with branches 0..i-1
-       asleep. *)
-    let pend0 = Array.make (Machine.nprocs root) Ppause in
-    List.iter (fun pid -> pend0.(pid) <- pending_of root pid) live0;
-    let branches = Array.of_list live0 in
-    let results = Array.make nb empty_stats in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec pull () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < nb then begin
-          let pid = branches.(i) in
-          let acc = fresh_acc () in
-          (try
-             let m = mk () in
-             ignore (Machine.step m pid : Machine.step_result);
-             let sleep0 =
-               match mode with
-               | Naive -> []
-               | Dpor ->
-                   let tq = (pid, pend0.(pid)) in
-                   let earlier = ref [] in
-                   Array.iteri
-                     (fun j r ->
-                       if j < i then earlier := (r, pend0.(r)) :: !earlier)
-                     branches;
-                   List.filter (fun s -> not (dependent tq s)) !earlier
-             in
-             explore_sub acc m [ pid ] 1 sleep0
-           with Budget -> ());
-          results.(i) <- stats_of ctx acc;
-          pull ()
-        end
+    (* Frontier work queue: expand the schedule tree level by level until
+       it holds enough subtree tasks to keep every domain busy (or the
+       frontier stops growing), then let workers pull tasks from a shared
+       counter. Which domain runs which task is racy, but each task's
+       tallies are a deterministic function of (mk, prefix), so the
+       task-ordered merge below is deterministic — except when the budget
+       trips, where the cross-domain interleaving decides which leaves
+       were admitted. Leaves met during expansion are tallied directly. *)
+    let target = 4 * domains in
+    let depth_cap = min max_steps 12 in
+    let base = fresh_acc () in
+    let budget_in_seed = ref false in
+    let tasks = ref [ { t_prefix = [||]; t_sleep = 0 } ] in
+    (try
+       let depth = ref 0 in
+       let stop = ref false in
+       while (not !stop) && List.length !tasks < target && !depth < depth_cap
+       do
+         let expanded =
+           List.concat_map (fun t -> expand_node ctx base mode t) !tasks
+         in
+         (* an empty expansion means every frontier node was a leaf *)
+         if expanded = [] then stop := true;
+         tasks := expanded;
+         incr depth
+       done
+     with Budget -> budget_in_seed := true);
+    let tasks = Array.of_list !tasks in
+    let nt = Array.length tasks in
+    if !budget_in_seed || nt = 0 then stats_of ctx base
+    else begin
+      let results = Array.make nt empty_stats in
+      let next = Atomic.make 0 in
+      let worker () =
+        let sched = sched_make () in
+        let stack =
+          match mode with Naive -> [||] | Dpor -> stack_make ctx nprocs
+        in
+        let rec pull () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < nt then begin
+            let t = tasks.(i) in
+            let acc = fresh_acc () in
+            (try
+               sched_reset sched t.t_prefix;
+               let m = replay ctx acc sched in
+               explore_sub acc stack m sched (Array.length t.t_prefix)
+                 t.t_sleep
+             with Budget -> ());
+            results.(i) <- stats_of ctx acc;
+            pull ()
+          end
+        in
+        pull ()
       in
-      pull ()
-    in
-    let spawned =
-      Array.init
-        (min domains nb - 1)
-        (fun _ -> Domain.spawn worker)
-    in
-    worker ();
-    Array.iter Domain.join spawned;
-    Array.fold_left
-      (fun s r ->
-        {
-          paths = s.paths + r.paths;
-          cut = s.cut + r.cut;
-          pruned = s.pruned + r.pruned;
-          violations = s.violations + r.violations;
-          first_violation =
-            (match s.first_violation with
-            | Some _ -> s.first_violation
-            | None -> r.first_violation);
-          exhausted = s.exhausted || r.exhausted;
-        })
-      empty_stats results
+      let spawned =
+        Array.init (min domains nt - 1) (fun _ -> Domain.spawn worker)
+      in
+      worker ();
+      Array.iter Domain.join spawned;
+      Array.fold_left merge_stats (stats_of ctx base) results
+    end
   end

@@ -32,7 +32,14 @@
     Intended for small configurations: keep programs to a few dozen total
     steps. Spinning programs make some paths infinite; those are cut at
     [max_steps] and counted in [cut] (the exploration is exhaustive {e
-    within the bound}, as in bounded model checking). *)
+    within the bound}, as in bounded model checking).
+
+    The search state is allocation-free: schedules are grow-only int
+    arrays, sleep/backtrack/done sets are int bitmasks, and pending
+    transitions are packed ints. The bitmask encoding caps the machine at
+    62 processes ({!run} rejects larger machines with [Invalid_argument]);
+    pair with {!Trace.Off} machines to make whole paths allocation-free
+    apart from the per-sibling machine replays. *)
 
 type stats = {
   paths : int;  (** maximal paths fully explored *)
@@ -46,6 +53,10 @@ type stats = {
   exhausted : bool;
       (** the path budget tripped: the stats are a partial tally of an
           incomplete search (any witness found so far is still reported) *)
+  replays : int;
+      (** fresh machines built to re-execute a schedule prefix (one per
+          non-first sibling branch, plus one per parallel subtree task) *)
+  steps : int;  (** total machine steps executed, replayed prefixes included *)
 }
 
 type mode =
@@ -71,14 +82,17 @@ val run :
     returned with [exhausted = true] instead of raising.
 
     [mode] (default {!Naive}) selects the search. [domains] (default 1)
-    splits the root branching factor across that many OCaml domains; [mk]
-    and [final] must then be safe to call concurrently from several domains
-    (building disjoint machines, as the test harnesses do). The merged
-    stats are deterministic — branch tallies are combined in root-branch
-    order — except that a budget trip is resolved by the cross-domain race
-    for the last admitted leaves. In [Dpor] mode the per-branch path counts
-    can differ from the single-domain search (the root explores all
-    branches rather than a computed persistent set); the verdict does not.
+    runs the search over a frontier work queue across that many OCaml
+    domains: the schedule tree is expanded level by level (to a small depth
+    cap) until it holds at least [4 * domains] subtree tasks, which workers
+    then pull from a shared queue. [mk] and [final] must then be safe to
+    call concurrently from several domains (building disjoint machines, as
+    the test harnesses do). The merged stats are deterministic — subtree
+    tallies are combined in frontier order — except that a budget trip is
+    resolved by the cross-domain race for the last admitted leaves. In
+    [Dpor] mode the per-task path counts can differ from the single-domain
+    search (each frontier node explores all enabled branches — a sound
+    superset of its computed persistent set); the verdict does not.
 
     [progress] (with [progress_every], default 10_000) is invoked with a
     snapshot of the calling worker's tallies every [progress_every] leaves

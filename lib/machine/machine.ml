@@ -15,10 +15,10 @@ type t = {
   procs : slot array;
 }
 
-let create ~nprocs =
+let create ?(trace = Trace.Full) ~nprocs () =
   {
     memory = Memory.create ();
-    trace = Trace.create ();
+    trace = Trace.create ~sink:trace ();
     procs = Array.init nprocs (fun _ -> { outcome = None; steps = 0 });
   }
 
@@ -59,6 +59,24 @@ let poised t pid =
   | Some (Proc.Wants_mem (req, _)) -> Some req
   | _ -> None
 
+(* Allocation-free status probes for the schedule explorer's inner loop. *)
+
+let is_runnable t pid =
+  match t.procs.(pid).outcome with
+  | Some (Proc.Wants_mem _ | Proc.Wants_pause _) -> true
+  | _ -> false
+
+let any_crashed t =
+  let n = Array.length t.procs in
+  let rec go pid =
+    pid < n
+    &&
+    match t.procs.(pid).outcome with
+    | Some (Proc.Failed _) -> true
+    | _ -> go (pid + 1)
+  in
+  go 0
+
 let step t pid : step_result =
   let s = slot t pid in
   match s.outcome with
@@ -68,8 +86,18 @@ let step t pid : step_result =
       s.outcome <- Some (drain t pid (Effect.Deep.continue k ()));
       `Paused
   | Some (Proc.Wants_mem ({ Proc.addr; prim }, k)) ->
-      let resp, changed = Memory.apply t.memory ~pid addr prim in
-      Trace.add_mem t.trace ~pid ~addr prim resp changed;
+      let resp =
+        if Trace.recording t.trace then begin
+          let resp, changed = Memory.apply t.memory ~pid addr prim in
+          Trace.add_mem t.trace ~pid ~addr prim resp changed;
+          resp
+        end
+        else begin
+          (* trace off: no entry is built, the event is only counted *)
+          Trace.tick t.trace;
+          Memory.apply_fast t.memory ~pid addr prim
+        end
+      in
       s.steps <- s.steps + 1;
       s.outcome <- Some (drain t pid (Effect.Deep.continue k resp));
       `Progress

@@ -19,7 +19,12 @@ type status =
 
 type step_result = [ `Progress | `Paused | `Done ]
 
-val create : nprocs:int -> t
+val create : ?trace:Trace.sink -> nprocs:int -> unit -> t
+(** [trace] selects the trace sink (default {!Trace.Full}). With
+    {!Trace.Off} the machine's behaviour is identical — same memory states,
+    responses and step counts — but no trace entry is allocated per step;
+    offline trace analyses are then unavailable. *)
+
 val nprocs : t -> int
 val memory : t -> Memory.t
 val trace : t -> Trace.t
@@ -32,6 +37,14 @@ val spawn : t -> pid -> (unit -> unit) -> unit
     Raises [Invalid_argument] if [pid] already has a program. *)
 
 val status : t -> pid -> status
+
+val is_runnable : t -> pid -> bool
+(** [status t pid = Runnable], without allocating (explorer hot path).
+    Unlike {!status}, out-of-range pids are a bounds error, not
+    [Invalid_argument]. *)
+
+val any_crashed : t -> bool
+(** Some spawned process crashed (allocation-free probe). *)
 
 val poised : t -> pid -> Proc.request option
 (** The event [pid] is poised to apply, if any — the paper's "enabled

@@ -31,9 +31,13 @@ let cell t a =
   if a < 0 || a >= t.n then invalid_arg "Memory: address out of range";
   t.cells.(a)
 
+(* The common case is an empty link set; avoid the List.mem call there. *)
+let link_valid c pid =
+  match c.links with [] -> false | links -> List.mem pid links
+
 let apply t ~pid a p =
   let c = cell t a in
-  let link_valid = List.mem pid c.links in
+  let link_valid = link_valid c pid in
   let v', resp, invalidates = Primitive.apply p ~current:c.v ~link_valid in
   let changed = not (Value.equal c.v v') in
   c.v <- v';
@@ -42,6 +46,20 @@ let apply t ~pid a p =
   | Primitive.Ll -> if not link_valid then c.links <- pid :: c.links
   | _ -> ());
   (resp, changed)
+
+(* Hot path for machines whose trace sink is off: identical state
+   transition, but skips the [changed] comparison (only the trace entry
+   needs it) and the result tuple. *)
+let apply_fast t ~pid a p =
+  let c = cell t a in
+  let link_valid = link_valid c pid in
+  let v', resp, invalidates = Primitive.apply p ~current:c.v ~link_valid in
+  c.v <- v';
+  if invalidates then c.links <- [];
+  (match p with
+  | Primitive.Ll -> if not link_valid then c.links <- pid :: c.links
+  | _ -> ());
+  resp
 
 let peek t a = (cell t a).v
 let poke t a v = (cell t a).v <- v

@@ -21,6 +21,11 @@ val apply : t -> pid:int -> addr -> Primitive.t -> Value.t * bool
     [Ll] registers a link for [pid]; any link-invalidating application (see
     {!Primitive.apply}) clears all links of [a]. *)
 
+val apply_fast : t -> pid:int -> addr -> Primitive.t -> Value.t
+(** Same state transition as {!apply} but returns only the response, skipping
+    the [changed] comparison — for hot paths that do not record a trace
+    entry (machines with the {!Trace.Off} sink). *)
+
 val peek : t -> addr -> Value.t
 (** Observe a cell without producing an event (for tests and invariants). *)
 

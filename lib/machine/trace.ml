@@ -12,25 +12,105 @@ type mem_event = {
 
 type entry = Mem of mem_event | Note of { seq : int; pid : int; note : note }
 
-type t = { mutable rev_entries : entry list; mutable len : int }
+type sink = Off | Ring of int | Full
 
-let create () = { rev_entries = []; len = 0 }
+(* Array-backed sink. [buf] is flat storage for [Full] (grow-on-demand,
+   [start] pinned at 0) and a circular buffer for [Ring n] ([start] is the
+   oldest stored entry). [total] is the global sequence counter: it advances
+   on every recorded event, including ones an [Off] or saturated [Ring] sink
+   does not retain, so seq numbers are schedule positions regardless of the
+   sink. *)
+type t = {
+  sink : sink;
+  mutable buf : entry array;
+  mutable start : int;
+  mutable stored : int;
+  mutable total : int;
+}
+
+let create ?(sink = Full) () =
+  (match sink with
+  | Ring n when n <= 0 ->
+      invalid_arg "Trace.create: ring capacity must be positive"
+  | _ -> ());
+  { sink; buf = [||]; start = 0; stored = 0; total = 0 }
+
+let sink t = t.sink
+let recording t = t.sink <> Off
+
+(* Count an event the machine elided recording for (Off sink fast path). *)
+let tick t = t.total <- t.total + 1
 
 let push t e =
-  t.rev_entries <- e :: t.rev_entries;
-  t.len <- t.len + 1
+  (match t.sink with
+  | Off -> ()
+  | Full ->
+      let cap = Array.length t.buf in
+      if t.stored >= cap then begin
+        let fresh = Array.make (max 64 (2 * cap)) e in
+        Array.blit t.buf 0 fresh 0 t.stored;
+        t.buf <- fresh
+      end;
+      t.buf.(t.stored) <- e;
+      t.stored <- t.stored + 1
+  | Ring n ->
+      if Array.length t.buf = 0 then t.buf <- Array.make n e;
+      if t.stored < n then begin
+        t.buf.((t.start + t.stored) mod n) <- e;
+        t.stored <- t.stored + 1
+      end
+      else begin
+        t.buf.(t.start) <- e;
+        t.start <- (t.start + 1) mod n
+      end);
+  t.total <- t.total + 1
 
 let add_mem t ~pid ~addr prim resp changed =
-  push t (Mem { seq = t.len; pid; addr; prim; resp; changed })
+  match t.sink with
+  | Off -> tick t
+  | _ -> push t (Mem { seq = t.total; pid; addr; prim; resp; changed })
 
-let add_note t ~pid note = push t (Note { seq = t.len; pid; note })
-let length t = t.len
-let entries t = List.rev t.rev_entries
-let iter t f = List.iter f (entries t)
+let add_note t ~pid note =
+  match t.sink with
+  | Off -> tick t
+  | _ -> push t (Note { seq = t.total; pid; note })
+
+let length t = t.total
+let stored t = t.stored
+let first_seq t = t.total - t.stored
+
+let get_stored t i = t.buf.((t.start + i) mod Array.length t.buf)
+
+let get t seq =
+  let first = first_seq t in
+  if seq < first || seq >= t.total then
+    invalid_arg "Trace.get: seq not retained by this sink";
+  get_stored t (seq - first)
+
+let iter t f =
+  for i = 0 to t.stored - 1 do
+    f (get_stored t i)
+  done
+
+let iter_from t seq f =
+  let i0 = max 0 (seq - first_seq t) in
+  for i = i0 to t.stored - 1 do
+    f (get_stored t i)
+  done
+
+let entries t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (get_stored t i :: acc) in
+  go (t.stored - 1) []
 
 let mem_events t =
-  List.filter_map (function Mem e -> Some e | Note _ -> None) (entries t)
-
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      match get_stored t i with
+      | Mem e -> go (i - 1) (e :: acc)
+      | Note _ -> go (i - 1) acc
+  in
+  go (t.stored - 1) []
 
 let pp_note_default ppf = function
   | Label s -> Fmt.pf ppf "label %S" s

@@ -6,7 +6,16 @@
     t-operation invocations/responses), which record logical structure without
     counting as steps. Offline analyses (step counting, RMR accounting,
     history extraction, invisibility and DAP checking) are pure functions of
-    the trace. *)
+    the trace.
+
+    A trace is a {e sink}: {!Full} retains every entry in a flat
+    O(1)-amortized array (the default, and what every offline analysis
+    expects), {!Ring}[ n] retains only the last [n] entries (bounded memory
+    for long debugging runs), and {!Off} retains nothing — the machine's
+    per-step recording cost drops to a counter increment, which is what lets
+    the schedule explorer run allocation-free. Sequence numbers are global
+    schedule positions and keep advancing even when the sink drops entries,
+    so {!length} is the event+note count under every sink. *)
 
 type note = ..
 
@@ -23,14 +32,54 @@ type mem_event = {
 
 type entry = Mem of mem_event | Note of { seq : int; pid : int; note : note }
 
+type sink =
+  | Off  (** record nothing; {!length} still counts *)
+  | Ring of int  (** keep the last [n] entries (capacity must be positive) *)
+  | Full  (** keep everything (default) *)
+
 type t
 
-val create : unit -> t
+val create : ?sink:sink -> unit -> t
+(** Defaults to {!Full}. Raises [Invalid_argument] on [Ring n] with
+    [n <= 0]. *)
+
+val sink : t -> sink
+
+val recording : t -> bool
+(** [false] iff the sink is {!Off} — callers on a hot path may then skip
+    computing the entry's fields entirely and call {!tick} instead. *)
+
+val tick : t -> unit
+(** Count one elided event: advances {!length} without recording. *)
+
 val add_mem : t -> pid:int -> addr:int -> Primitive.t -> Value.t -> bool -> unit
 val add_note : t -> pid:int -> note -> unit
+
 val length : t -> int
+(** Total entries recorded since creation (the seq counter), whether or not
+    the sink retained them. *)
+
+val stored : t -> int
+(** Entries currently retained: [length] for {!Full}, at most [n] for
+    {!Ring}[ n], [0] for {!Off}. *)
+
+val first_seq : t -> int
+(** Sequence number of the oldest retained entry ([length - stored]). *)
+
+val get : t -> int -> entry
+(** [get t seq]: the retained entry with sequence number [seq], in O(1).
+    Raises [Invalid_argument] if the sink no longer (or never) holds it. *)
+
 val entries : t -> entry list
+(** All retained entries, oldest first. *)
+
 val iter : t -> (entry -> unit) -> unit
+(** Iterate the retained entries oldest-first, without building a list. *)
+
+val iter_from : t -> int -> (entry -> unit) -> unit
+(** [iter_from t seq f]: like {!iter} but only entries with sequence number
+    [>= seq] — O(stored from that point), not O(whole trace). *)
+
 val mem_events : t -> mem_event list
 
 val pp_entry : pp_note:(Format.formatter -> note -> unit) -> Format.formatter -> entry -> unit

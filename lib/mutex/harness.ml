@@ -12,7 +12,7 @@ exception Mutual_exclusion_violation of string
 
 let run (module L : Mutex_intf.S) ~nprocs ~rounds ?(schedule = `Round_robin)
     ?max_steps () =
-  let machine = Machine.create ~nprocs in
+  let machine = Machine.create ~nprocs () in
   let lock = L.create machine ~nprocs in
   let counter = Machine.alloc machine ~name:"cs.counter" (Value.Int 0) in
   let occupancy = ref 0 in

@@ -8,8 +8,8 @@ open Ptm_mutex
 open Ptm_core
 
 (* Two processes, one critical section each, occupancy assertions inside. *)
-let mk_mutex (module L : Mutex_intf.S) ?(nprocs = 2) () =
-  let m = Machine.create ~nprocs in
+let mk_mutex (module L : Mutex_intf.S) ?(nprocs = 2) ?(trace = Trace.Full) () =
+  let m = Machine.create ~trace ~nprocs () in
   let lock = L.create m ~nprocs in
   let c = Machine.alloc m ~name:"c" (Value.Int 0) in
   let occupancy = ref 0 in
@@ -58,7 +58,7 @@ let explore_lock ?(max_steps = 24) ?(max_paths = 1_000_000)
    commit. All interleavings must yield opaque histories. *)
 let mk_tm (module T : Tm_intf.S) () =
   let module R = Runner.Make (T) in
-  let m = Machine.create ~nprocs:2 in
+  let m = Machine.create ~nprocs:2 () in
   let ctx = R.init m ~nobjs:2 in
   Machine.spawn m 0 (fun () ->
       let tx = R.begin_tx ctx ~pid:0 in
@@ -99,7 +99,7 @@ let explore_tm ?(max_steps = 40) (module T : Tm_intf.S) () =
 
 let mk_single_object (module T : Tm_intf.S) () =
   let module R = Runner.Make (T) in
-  let m = Machine.create ~nprocs:2 in
+  let m = Machine.create ~nprocs:2 () in
   let ctx = R.init m ~nobjs:1 in
   for pid = 0 to 1 do
     Machine.spawn m pid (fun () ->
@@ -316,7 +316,7 @@ let dpor_single_object_cases =
 (* A deliberately lossy counter: three processes increment non-atomically
    (read, then write), so most interleavings lose an update. *)
 let mk_lossy () =
-  let m = Machine.create ~nprocs:3 in
+  let m = Machine.create ~nprocs:3 () in
   let c = Machine.alloc m ~name:"c" (Value.Int 0) in
   for pid = 0 to 2 do
     Machine.spawn m pid (fun () ->
@@ -374,7 +374,7 @@ let prop_dpor_matches_naive =
       let (module T) = tms.(ti) in
       let mk () =
         let module R = Runner.Make (T) in
-        let m = Machine.create ~nprocs:2 in
+        let m = Machine.create ~nprocs:2 () in
         let ctx = R.init m ~nobjs:2 in
         let prog pid ops () =
           let tx = R.begin_tx ctx ~pid in
@@ -450,6 +450,121 @@ let test_budget_preserves_witness () =
         (s.Explore.first_violation <> None))
     [ Explore.Naive; Explore.Dpor ]
 
+(* ------------------------------------------------------------------ *)
+(* Trace sinks and the bitmask encoding.                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The sink is pure observation: every stat of the search — including the
+   traversal bookkeeping (replays, steps) and the witness — is identical
+   whether the explored machines record a full trace, a bounded ring, or
+   nothing. The verdicts here are crash-based (occupancy assertions), so
+   they need no trace. *)
+let test_sink_invariance () =
+  List.iter
+    (fun ((module L : Mutex_intf.S), max_steps) ->
+      List.iter
+        (fun mode ->
+          let run trace =
+            Explore.run
+              ~mk:(mk_mutex (module L) ~trace)
+              ~max_steps ~mode ()
+          in
+          let full = run Trace.Full in
+          let ring = run (Trace.Ring 4) in
+          let off = run Trace.Off in
+          Alcotest.(check bool)
+            (L.name ^ ": ring sink changes nothing")
+            true (full = ring);
+          Alcotest.(check bool)
+            (L.name ^ ": off sink changes nothing")
+            true (full = off))
+        [ Explore.Naive; Explore.Dpor ])
+    [ ((module Tas), 24); ((module Ticket), 24) ]
+
+(* Same invariance on random lossy programs: each process does a random
+   sequence of read/increment rounds on one of two cells, so schedules
+   both with and without violations are generated. *)
+let prop_sinks_agree =
+  let open QCheck2 in
+  let gen = Gen.(list_size (2 -- 3) (list_size (1 -- 2) (int_bound 1))) in
+  let print progs =
+    String.concat " | "
+      (List.map
+         (fun p -> String.concat ";" (List.map string_of_int p))
+         progs)
+  in
+  Test.make ~count:30 ~name:"trace sinks do not change exploration" ~print
+    gen (fun progs ->
+      let nprocs = List.length progs in
+      let mk trace () =
+        let m = Machine.create ~trace ~nprocs () in
+        let cells =
+          [| Machine.alloc m ~name:"a" (Value.Int 0);
+             Machine.alloc m ~name:"b" (Value.Int 0) |]
+        in
+        List.iteri
+          (fun pid prog ->
+            Machine.spawn m pid (fun () ->
+                List.iter
+                  (fun obj ->
+                    let c = cells.(obj) in
+                    let v = Proc.read_int c in
+                    Proc.write c (Value.Int (v + 1)))
+                  prog))
+          progs;
+        m
+      in
+      List.for_all
+        (fun mode ->
+          let run trace =
+            Explore.run ~mk:(mk trace) ~max_steps:14 ~max_paths:30_000 ~mode
+              ()
+          in
+          let full = run Trace.Full in
+          full = run Trace.Off && full = run (Trace.Ring 3))
+        [ Explore.Naive; Explore.Dpor ])
+
+(* The DPOR path/prune counts of the standard fixtures, pinned: the bitmask
+   sleep/backtrack sets must reproduce the original assoc-list search
+   node for node, not merely the verdicts. *)
+let test_dpor_counts_pinned () =
+  List.iter
+    (fun (name, mk, max_steps, paths, cut, pruned) ->
+      let s = Explore.run ~mk ~max_steps ~mode:Explore.Dpor () in
+      Alcotest.(check (triple int int int))
+        (name ^ ": pinned dpor stats")
+        (paths, cut, pruned)
+        (s.Explore.paths, s.Explore.cut, s.Explore.pruned))
+    [
+      ("tas", (fun () -> mk_mutex (module Tas) ()), 24, 17, 6, 0);
+      ("ticket", (fun () -> mk_mutex (module Ticket) ()), 24, 13, 7, 1);
+      ("undolog", mk_tm (module Ptm_tms.Undolog), 40, 24, 0, 25);
+      ("dstm", mk_tm (module Ptm_tms.Dstm), 40, 19, 0, 21);
+    ]
+
+(* The bitmask encoding caps the machine at 62 processes; beyond that the
+   explorer must refuse loudly, not overflow silently. (Machines themselves
+   still take any nprocs — the Theorem 9 sweeps go to 64.) *)
+let test_max_procs_rejected () =
+  let mk () = Machine.create ~nprocs:63 () in
+  Alcotest.check_raises "63 procs rejected"
+    (Invalid_argument
+       "Explore.run: 63 processes, but the bitmask sleep/backtrack sets \
+        support at most 62")
+    (fun () -> ignore (Explore.run ~mk ()));
+  (* 62 is fine (nothing spawned: the search is a single empty path) *)
+  let s = Explore.run ~mk:(fun () -> Machine.create ~nprocs:62 ()) () in
+  Alcotest.(check int) "62 procs accepted" 1 s.Explore.paths
+
+let test_replays_counted () =
+  let s = Explore.run ~mk:(mk_mutex (module Tas)) ~max_steps:24 () in
+  (* every leaf beyond the first along each node's in-place branch comes
+     from a replayed sibling: 4096 leaves from one root = 4095 replays *)
+  Alcotest.(check int) "one replay per non-first sibling" 4095
+    s.Explore.replays;
+  Alcotest.(check bool) "steps include replayed prefixes" true
+    (s.Explore.steps > 4096)
+
 let test_progress_callback () =
   let calls = ref 0 in
   let last = ref 0 in
@@ -478,7 +593,11 @@ let test_domains_naive_partition () =
   let s2 =
     Explore.run ~mk ~final:(counter_is 2) ~max_steps:24 ~domains:2 ()
   in
-  Alcotest.(check bool) "two domains visit the same stats" true (s1 = s2)
+  (* replays/steps are bookkeeping of the traversal itself, and the
+     frontier split legitimately replays more prefixes than one DFS *)
+  let scrub s = { s with Explore.replays = 0; steps = 0 } in
+  Alcotest.(check bool) "two domains visit the same stats" true
+    (scrub s1 = scrub s2)
 
 let test_domains_dpor () =
   let mk = mk_mutex (module Ticket) ~nprocs:3 in
@@ -642,6 +761,17 @@ let () =
             test_budget_preserves_witness;
           Alcotest.test_case "progress callback" `Quick
             test_progress_callback;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "sink invariance on mutex fixtures" `Quick
+            test_sink_invariance;
+          QCheck_alcotest.to_alcotest prop_sinks_agree;
+          Alcotest.test_case "dpor counts pinned" `Quick
+            test_dpor_counts_pinned;
+          Alcotest.test_case "more than 62 procs rejected" `Quick
+            test_max_procs_rejected;
+          Alcotest.test_case "replays counted" `Quick test_replays_counted;
         ] );
       ( "parallel",
         [

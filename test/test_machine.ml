@@ -171,11 +171,78 @@ let test_memory_failed_cas_keeps_links () =
   Alcotest.check value "sc survives failed cas" (Value.Bool true) resp
 
 (* ------------------------------------------------------------------ *)
+(* Trace sinks: retention policy vs the global sequence counter        *)
+(* ------------------------------------------------------------------ *)
+
+let mk_faa_machine trace =
+  let m = Machine.create ~trace ~nprocs:1 () in
+  let c = Machine.alloc m ~name:"c" (Value.Int 0) in
+  Machine.spawn m 0 (fun () ->
+      for _ = 1 to 10 do
+        ignore (Proc.faa c 1)
+      done);
+  Sched.round_robin m;
+  Machine.check_crashes m;
+  (m, c)
+
+let test_trace_sink_off () =
+  let m, c = mk_faa_machine Trace.Off in
+  let tr = Machine.trace m in
+  (* behaviour is unchanged; only the recording is elided *)
+  Alcotest.check value "10 increments" (Value.Int 10)
+    (Memory.peek (Machine.memory m) c);
+  Alcotest.(check int) "events still counted" 10 (Trace.length tr);
+  Alcotest.(check int) "nothing retained" 0 (Trace.stored tr);
+  Alcotest.(check bool) "entries empty" true (Trace.entries tr = []);
+  Alcotest.(check bool) "not recording" false (Trace.recording tr)
+
+let test_trace_sink_ring () =
+  let m, _ = mk_faa_machine (Trace.Ring 4) in
+  let tr = Machine.trace m in
+  Alcotest.(check int) "seq counter is global" 10 (Trace.length tr);
+  Alcotest.(check int) "only the window retained" 4 (Trace.stored tr);
+  Alcotest.(check int) "window starts at 6" 6 (Trace.first_seq tr);
+  (* retained entries are the last four events, oldest first *)
+  let seqs =
+    List.filter_map
+      (function Trace.Mem e -> Some e.Trace.seq | Trace.Note _ -> None)
+      (Trace.entries tr)
+  in
+  Alcotest.(check (list int)) "seqs of the window" [ 6; 7; 8; 9 ] seqs;
+  (match Trace.get tr 7 with
+  | Trace.Mem e -> Alcotest.(check int) "get by seq" 7 e.Trace.seq
+  | Trace.Note _ -> Alcotest.fail "expected a mem event");
+  Alcotest.check_raises "evicted seq rejected"
+    (Invalid_argument "Trace.get: seq not retained by this sink") (fun () ->
+      ignore (Trace.get tr 3));
+  (* iter_from clamps to the retained window *)
+  let n = ref 0 in
+  Trace.iter_from tr 0 (fun _ -> incr n);
+  Alcotest.(check int) "iter_from clamped" 4 !n
+
+let test_trace_sink_full_matches_ring_tail () =
+  let m_full, _ = mk_faa_machine Trace.Full in
+  let full = Machine.trace m_full in
+  Alcotest.(check int) "full retains all" 10 (Trace.stored full);
+  Alcotest.(check int) "full starts at 0" 0 (Trace.first_seq full);
+  let tail_full =
+    List.filteri (fun i _ -> i >= 6) (Trace.entries full)
+  in
+  let m_ring, _ = mk_faa_machine (Trace.Ring 4) in
+  Alcotest.(check bool) "ring window = full tail" true
+    (tail_full = Trace.entries (Machine.trace m_ring))
+
+let test_trace_ring_capacity_positive () =
+  Alcotest.check_raises "ring 0 rejected"
+    (Invalid_argument "Trace.create: ring capacity must be positive")
+    (fun () -> ignore (Trace.create ~sink:(Trace.Ring 0) ()))
+
+(* ------------------------------------------------------------------ *)
 (* Machine: processes, steps, scheduling                              *)
 (* ------------------------------------------------------------------ *)
 
 let test_machine_counter () =
-  let m = Machine.create ~nprocs:3 in
+  let m = Machine.create ~nprocs:3 () in
   let c = Machine.alloc m ~name:"c" (Value.Int 0) in
   for pid = 0 to 2 do
     Machine.spawn m pid (fun () ->
@@ -193,7 +260,7 @@ let test_machine_counter () =
 let test_machine_poised () =
   (* An enabled event is fixed when the process reaches it, but applied
      against the memory at schedule time. *)
-  let m = Machine.create ~nprocs:2 in
+  let m = Machine.create ~nprocs:2 () in
   let x = Machine.alloc m ~name:"x" (Value.Int 0) in
   let got = ref (-1) in
   Machine.spawn m 0 (fun () -> got := Proc.read_int x);
@@ -213,7 +280,7 @@ let test_machine_poised () =
   Alcotest.(check int) "read sees later write" 42 !got
 
 let test_machine_pause_solo () =
-  let m = Machine.create ~nprocs:1 in
+  let m = Machine.create ~nprocs:1 () in
   let x = Machine.alloc m ~name:"x" (Value.Int 0) in
   Machine.spawn m 0 (fun () ->
       Proc.write x (Value.Int 1);
@@ -232,7 +299,7 @@ let test_machine_pause_solo () =
 
 let test_machine_spin_terminates () =
   (* A spinning process is eventually released by its peer under round-robin. *)
-  let m = Machine.create ~nprocs:2 in
+  let m = Machine.create ~nprocs:2 () in
   let flag = Machine.alloc m ~name:"flag" (Value.Bool false) in
   let out = ref 0 in
   Machine.spawn m 0 (fun () ->
@@ -246,7 +313,7 @@ let test_machine_spin_terminates () =
   Alcotest.(check int) "released" 1 !out
 
 let test_machine_out_of_steps () =
-  let m = Machine.create ~nprocs:1 in
+  let m = Machine.create ~nprocs:1 () in
   let flag = Machine.alloc m ~name:"flag" (Value.Bool false) in
   Machine.spawn m 0 (fun () ->
       while not (Proc.read_bool flag) do
@@ -256,7 +323,7 @@ let test_machine_out_of_steps () =
       Sched.round_robin ~max_steps:1000 m)
 
 let test_machine_crash_surfaces () =
-  let m = Machine.create ~nprocs:1 in
+  let m = Machine.create ~nprocs:1 () in
   Machine.spawn m 0 (fun () -> failwith "boom");
   Sched.round_robin m;
   (match Machine.status m 0 with
@@ -266,7 +333,7 @@ let test_machine_crash_surfaces () =
       Machine.check_crashes m)
 
 let test_machine_script () =
-  let m = Machine.create ~nprocs:2 in
+  let m = Machine.create ~nprocs:2 () in
   let x = Machine.alloc m ~name:"x" (Value.Int 0) in
   Machine.spawn m 0 (fun () -> Proc.write x (Value.Int 1));
   Machine.spawn m 1 (fun () -> Proc.write x (Value.Int 2));
@@ -276,7 +343,7 @@ let test_machine_script () =
   Alcotest.(check bool) "all done" true (Machine.all_done m)
 
 let test_machine_notes_are_free () =
-  let m = Machine.create ~nprocs:1 in
+  let m = Machine.create ~nprocs:1 () in
   let x = Machine.alloc m ~name:"x" (Value.Int 0) in
   Machine.spawn m 0 (fun () ->
       Proc.note (Trace.Label "before");
@@ -302,7 +369,7 @@ let test_machine_notes_are_free () =
   | _ -> Alcotest.fail "unexpected trace shape"
 
 let test_machine_double_spawn () =
-  let m = Machine.create ~nprocs:1 in
+  let m = Machine.create ~nprocs:1 () in
   Machine.spawn m 0 (fun () -> ());
   Alcotest.check_raises "double spawn"
     (Invalid_argument "Machine.spawn: process already spawned") (fun () ->
@@ -313,7 +380,7 @@ let test_machine_double_spawn () =
 (* ------------------------------------------------------------------ *)
 
 let run_once seed =
-  let m = Machine.create ~nprocs:4 in
+  let m = Machine.create ~nprocs:4 () in
   let c = Machine.alloc m ~name:"c" (Value.Int 0) in
   for pid = 0 to 3 do
     Machine.spawn m pid (fun () ->
@@ -476,6 +543,17 @@ let () =
             test_memory_llsc_two_linkers;
           Alcotest.test_case "failed cas keeps links" `Quick
             test_memory_failed_cas_keeps_links;
+        ] );
+      ( "trace-sinks",
+        [
+          Alcotest.test_case "off counts but retains nothing" `Quick
+            test_trace_sink_off;
+          Alcotest.test_case "ring keeps the last N" `Quick
+            test_trace_sink_ring;
+          Alcotest.test_case "ring window equals full tail" `Quick
+            test_trace_sink_full_matches_ring_tail;
+          Alcotest.test_case "ring capacity must be positive" `Quick
+            test_trace_ring_capacity_positive;
         ] );
       ( "machine",
         [

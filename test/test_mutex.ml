@@ -38,7 +38,7 @@ let test_random_schedules (module L : Mutex_intf.S) () =
 (* Finite exit: with the lock held and no contention, exit completes in a
    bounded number of own steps. *)
 let test_finite_exit (module L : Mutex_intf.S) () =
-  let machine = Machine.create ~nprocs:2 in
+  let machine = Machine.create ~nprocs:2 () in
   let lock = L.create machine ~nprocs:2 in
   Machine.spawn machine 0 (fun () ->
       L.enter lock ~pid:0;

@@ -6,7 +6,7 @@ open Ptm_core
 module R = Runner.Make (Ptm_tms.Dstm)
 
 let test_tx_ids_unique () =
-  let machine = Machine.create ~nprocs:2 in
+  let machine = Machine.create ~nprocs:2 () in
   let ctx = R.init machine ~nobjs:2 in
   let ids = ref [] in
   for pid = 0 to 1 do
@@ -24,7 +24,7 @@ let test_tx_ids_unique () =
   Alcotest.(check int) "six distinct ids" 6 (List.length sorted)
 
 let test_dead_handle_guard () =
-  let machine = Machine.create ~nprocs:1 in
+  let machine = Machine.create ~nprocs:1 () in
   let ctx = R.init machine ~nobjs:2 in
   let guarded = ref false in
   Machine.spawn machine 0 (fun () ->
@@ -41,7 +41,7 @@ let test_dead_handle_guard () =
 let test_atomically_retries () =
   (* Two processes increment the same object transactionally; with enough
      retries both must succeed despite conflicts. *)
-  let machine = Machine.create ~nprocs:2 in
+  let machine = Machine.create ~nprocs:2 () in
   let ctx = R.init machine ~nobjs:1 in
   for pid = 0 to 1 do
     Machine.spawn machine pid (fun () ->

@@ -67,7 +67,7 @@ type op_result = Enq of int * bool | Deq of int option
 let run_queue (module T : Tm_intf.S) ~seed =
   let module Q = Queue_ops (T) in
   let nprocs = 3 in
-  let machine = Machine.create ~nprocs in
+  let machine = Machine.create ~nprocs () in
   let ctx = Q.R.init machine ~nobjs in
   (* per-transaction results, keyed by runner transaction id *)
   let results : (int, op_result) Hashtbl.t = Hashtbl.create 32 in

@@ -54,7 +54,7 @@ let test_sequential (module T : Tm_intf.S) () =
 
 (* Fresh handles must not touch shared memory (no begin event). *)
 let test_fresh_is_silent (module T : Tm_intf.S) () =
-  let machine = Ptm_machine.Machine.create ~nprocs:1 in
+  let machine = Ptm_machine.Machine.create ~nprocs:1 () in
   let t = T.create machine ~nobjs:2 in
   Ptm_machine.Machine.spawn machine 0 (fun () ->
       ignore (T.fresh t ~pid:0 ~id:0));
@@ -125,7 +125,7 @@ let test_concurrent_dap (module T : Tm_intf.S) () =
    transaction's read, write and tryC step contention-free. *)
 let test_icf_liveness (module T : Tm_intf.S) () =
   let module R = Runner.Make (T) in
-  let machine = Ptm_machine.Machine.create ~nprocs:3 in
+  let machine = Ptm_machine.Machine.create ~nprocs:3 () in
   let ctx = R.init machine ~nobjs:3 in
   for pid = 0 to 1 do
     Ptm_machine.Machine.spawn machine pid (fun () ->
@@ -266,7 +266,7 @@ let test_oneshot_basic (module T : Tm_intf.S) () =
     seeds
 
 let test_oneshot_restriction (module T : Tm_intf.S) () =
-  let machine = Ptm_machine.Machine.create ~nprocs:1 in
+  let machine = Ptm_machine.Machine.create ~nprocs:1 () in
   let t = T.create machine ~nobjs:2 in
   let failed = ref false in
   Ptm_machine.Machine.spawn machine 0 (fun () ->
