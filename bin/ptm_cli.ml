@@ -297,22 +297,53 @@ let explore_cmd =
              hot path, the default — verdicts here are crash-based and need \
              no trace), $(b,ring:N) (keep the last N entries) or $(b,full).")
   in
+  let pool_arg =
+    Arg.(
+      value
+      & opt (enum [ ("on", true); ("off", false) ]) true
+      & info [ "pool" ] ~docv:"on|off"
+          ~doc:
+            "Machine pooling: recycle finished machines through a free list \
+             instead of rebuilding one per sibling replay (default on).")
+  in
+  let stride_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "checkpoint-stride" ] ~docv:"K"
+          ~doc:
+            "Lay a memory checkpoint every $(docv) schedule depths; sibling \
+             replays feed the checkpointed prefix from the response log and \
+             re-execute only the suffix (0: off, default 4).")
+  in
   let run (module L : Ptm_mutex.Mutex_intf.S) max_steps nprocs max_paths
-      reduce domains compare progress_every trace =
+      reduce domains compare progress_every trace pool checkpoint_stride =
     let mk () =
       let m = Ptm_machine.Machine.create ~trace ~nprocs () in
       let lock = L.create m ~nprocs in
       let c = Ptm_machine.Machine.alloc m ~name:"c" (Ptm_machine.Value.Int 0) in
-      let occupancy = ref 0 in
+      (* occupancy lives in a machine cell (peek/poke: no events, same
+         schedule tree) so machine pooling can reset it between runs *)
+      let occ =
+        Ptm_machine.Machine.alloc m ~name:"occ" (Ptm_machine.Value.Int 0)
+      in
+      let mem = Ptm_machine.Machine.memory m in
+      let occ_read () =
+        match Ptm_machine.Memory.peek mem occ with
+        | Ptm_machine.Value.Int o -> o
+        | _ -> assert false
+      in
+      let occ_write o =
+        Ptm_machine.Memory.poke mem occ (Ptm_machine.Value.Int o)
+      in
       for pid = 0 to nprocs - 1 do
         Ptm_machine.Machine.spawn m pid (fun () ->
             L.enter lock ~pid;
-            incr occupancy;
-            assert (!occupancy = 1);
+            occ_write (occ_read () + 1);
+            assert (occ_read () = 1);
             let v = Ptm_machine.Proc.read_int c in
             Ptm_machine.Proc.write c (Ptm_machine.Value.Int (v + 1));
-            assert (!occupancy = 1);
-            decr occupancy;
+            assert (occ_read () = 1);
+            occ_write (occ_read () - 1);
             L.exit_cs lock ~pid)
       done;
       m
@@ -325,8 +356,8 @@ let explore_cmd =
             Fmt.epr "... %d paths, %d cut, %d pruned@." s.paths s.cut s.pruned)
     in
     let search mode =
-      Ptm_machine.Explore.run ~mk ~max_steps ~max_paths ~mode ~domains
-        ?progress
+      Ptm_machine.Explore.run ~mk ~max_steps ~max_paths ~mode ~domains ~pool
+        ~checkpoint_stride ~fuse:true ?progress
         ~progress_every:(max 1 progress_every)
         ()
     in
@@ -359,7 +390,8 @@ let explore_cmd =
           reduction and parallel domains.")
     Term.(
       const run $ lock_arg $ steps_arg $ procs_arg $ paths_arg $ reduce_arg
-      $ domains_arg $ compare_arg $ progress_arg $ trace_arg)
+      $ domains_arg $ compare_arg $ progress_arg $ trace_arg $ pool_arg
+      $ stride_arg)
 
 (* ---------------- props ---------------- *)
 

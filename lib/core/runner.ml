@@ -1,9 +1,18 @@
 open Ptm_machine
 
 module Make (T : Tm_intf.S) = struct
-  type ctx = { state : T.t; next_id : int ref }
+  (* The transaction-id counter lives in a machine cell accessed with
+     peek/poke (no events, so ids are free in the step model): a captured
+     [ref] would keep counting across explorer machine re-runs, whereas the
+     cell is restored with the rest of the machine, so every re-run hands
+     out the same ids as a fresh one. *)
+  type ctx = { state : T.t; mem : Memory.t; next_id : Memory.addr }
 
-  let init machine ~nobjs = { state = T.create machine ~nobjs; next_id = ref 0 }
+  let init machine ~nobjs =
+    let state = T.create machine ~nobjs in
+    let next_id = Machine.alloc machine ~name:"runner.next_id" (Value.Int 0) in
+    { state; mem = Machine.memory machine; next_id }
+
   let tm_state ctx = ctx.state
 
   type tx = { pid : int; id : int; inner : T.tx; mutable dead : bool }
@@ -11,8 +20,8 @@ module Make (T : Tm_intf.S) = struct
   let tx_id tx = tx.id
 
   let begin_tx ctx ~pid =
-    let id = !(ctx.next_id) in
-    incr ctx.next_id;
+    let id = Value.to_int (Memory.peek ctx.mem ctx.next_id) in
+    Memory.poke ctx.mem ctx.next_id (Value.Int (id + 1));
     { pid; id; inner = T.fresh ctx.state ~pid ~id; dead = false }
 
   let guard tx = if tx.dead then invalid_arg "Runner: use of dead transaction"

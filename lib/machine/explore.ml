@@ -7,13 +7,15 @@ type stats = {
   exhausted : bool;
   replays : int;
   steps : int;
+  replay_steps_saved : int;
 }
 
 type mode = Naive | Dpor
 
 let pp_stats ppf s =
-  Fmt.pf ppf "paths=%d cut=%d pruned=%d violations=%d replays=%d steps=%d%s%s"
-    s.paths s.cut s.pruned s.violations s.replays s.steps
+  Fmt.pf ppf
+    "paths=%d cut=%d pruned=%d violations=%d replays=%d steps=%d saved=%d%s%s"
+    s.paths s.cut s.pruned s.violations s.replays s.steps s.replay_steps_saved
     (match s.first_violation with
     | None -> ""
     | Some w ->
@@ -27,8 +29,8 @@ let reduction_ratio ~naive ~reduced =
 (* The search state is deliberately allocation-free: schedules are grow-only
    int arrays, process sets are int bitmasks (hence the [max_procs] bound),
    and pending transitions are packed into ints. The machine's own stepping
-   (with the trace sink off) allocates nothing either, so the only
-   allocations on a path are the fresh machines built by sibling replays. *)
+   (with the trace sink off) allocates nothing either, and sibling replays
+   draw pooled machines from a free list instead of building fresh ones. *)
 
 let max_procs = 62
 
@@ -42,22 +44,17 @@ exception Budget
 (* The transition a runnable process will take when next scheduled is   *)
 (* either the memory event it is poised to apply — encoded as           *)
 (* [addr * 2 + trivial?] — or a voluntary pause (no base object),       *)
-(* encoded as -1. Dependence of two transitions, derived exactly as     *)
-(* the events would be recorded: same process (program order), or two   *)
-(* accesses to the same base object of which at least one is            *)
-(* nontrivial. Pauses commute with every other process's step; trivial  *)
-(* primitives (Read, Ll) on the same address commute with each other.   *)
-(* Conditional primitives (Cas, Sc, Tas) are classified nontrivial even *)
-(* when they would fail — a sound over-approximation.                   *)
+(* encoded as -1 (see {!Machine.packed_pend}). Dependence of two        *)
+(* transitions, derived exactly as the events would be recorded: same   *)
+(* process (program order), or two accesses to the same base object of  *)
+(* which at least one is nontrivial. Pauses commute with every other    *)
+(* process's step; trivial primitives (Read, Ll) on the same address    *)
+(* commute with each other. Conditional primitives (Cas, Sc, Tas) are   *)
+(* classified nontrivial even when they would fail — a sound            *)
+(* over-approximation.                                                  *)
 (* ------------------------------------------------------------------ *)
 
 let pause_pend = -1
-
-let pend_of m pid =
-  match Machine.poised m pid with
-  | Some { Proc.addr; prim } ->
-      (addr lsl 1) lor (if Primitive.is_trivial prim then 1 else 0)
-  | None -> pause_pend
 
 let dependent p ep q eq =
   p = q
@@ -81,28 +78,64 @@ let lowest_bit mask =
   let rec go i v = if v <= 1 then i else go (i + 1) (v lsr 1) in
   go 0 b
 
+let popcount mask =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v land (v - 1)) in
+  go 0 mask
+
 (* ------------------------------------------------------------------ *)
-(* Schedules: a grow-only int array used as a stack along the current   *)
-(* path. Replay walks the prefix in place — no List.rev per sibling.    *)
+(* Schedules: grow-only arrays used as a stack along the current path.  *)
+(* Besides the pid per position, the response (and changed flag) each   *)
+(* position produced is logged, so checkpointed replays can [feed] a    *)
+(* prefix back into parked continuations instead of re-applying it.     *)
+(* Pause positions log a stale response; [Machine.feed] ignores it.     *)
 (* ------------------------------------------------------------------ *)
 
-type sched = { mutable s_a : int array; mutable s_n : int }
+type sched = {
+  mutable s_a : int array;
+  mutable s_resp : Value.t array;
+  mutable s_changed : Bytes.t;
+  mutable s_n : int;
+  s_log : bool;  (* responses only matter when checkpointing is on *)
+}
 
-let sched_make () = { s_a = Array.make 64 0; s_n = 0 }
+let sched_make ~log () =
+  {
+    s_a = Array.make 64 0;
+    s_resp = Array.make 64 Value.Unit;
+    s_changed = Bytes.make 64 '\000';
+    s_n = 0;
+    s_log = log;
+  }
+
+let sched_grow sc cap =
+  if cap > Array.length sc.s_a then begin
+    let n = max cap (2 * Array.length sc.s_a) in
+    let a = Array.make n 0 in
+    let r = Array.make n Value.Unit in
+    let c = Bytes.make n '\000' in
+    Array.blit sc.s_a 0 a 0 sc.s_n;
+    Array.blit sc.s_resp 0 r 0 sc.s_n;
+    Bytes.blit sc.s_changed 0 c 0 sc.s_n;
+    sc.s_a <- a;
+    sc.s_resp <- r;
+    sc.s_changed <- c
+  end
 
 let sched_reset sc prefix =
-  if Array.length prefix > Array.length sc.s_a then
-    sc.s_a <- Array.make (2 * Array.length prefix) 0;
+  sc.s_n <- 0;
+  sched_grow sc (Array.length prefix);
   Array.blit prefix 0 sc.s_a 0 (Array.length prefix);
   sc.s_n <- Array.length prefix
 
-let sched_push sc pid =
-  if sc.s_n >= Array.length sc.s_a then begin
-    let fresh = Array.make (2 * Array.length sc.s_a) 0 in
-    Array.blit sc.s_a 0 fresh 0 sc.s_n;
-    sc.s_a <- fresh
-  end;
+(* Push the position just executed on [m], logging its response. *)
+let sched_push sc m pid =
+  sched_grow sc (sc.s_n + 1);
   sc.s_a.(sc.s_n) <- pid;
+  if sc.s_log then begin
+    sc.s_resp.(sc.s_n) <- Machine.last_resp m;
+    Bytes.unsafe_set sc.s_changed sc.s_n
+      (if Machine.last_changed m then '\001' else '\000')
+  end;
   sc.s_n <- sc.s_n + 1
 
 let sched_pop sc = sc.s_n <- sc.s_n - 1
@@ -117,6 +150,7 @@ type acc = {
   mutable a_first : int list option;
   mutable a_replays : int;
   mutable a_steps : int;
+  mutable a_saved : int;
   mutable a_ticks : int;  (* leaves since the last progress callback *)
 }
 
@@ -125,6 +159,9 @@ type ctx = {
   final : Machine.t -> bool;
   max_steps : int;
   max_paths : int;
+  pool : bool;  (* effective: forced off when [mk] pre-steps the machine *)
+  stride : int;  (* checkpoint depth stride; 0 = checkpointing off *)
+  fuse : bool;
   spent : int Atomic.t;  (* paths + cut counted so far, across all domains *)
   tripped : bool Atomic.t;
   progress : (stats -> unit) option;
@@ -140,6 +177,7 @@ let fresh_acc () =
     a_first = None;
     a_replays = 0;
     a_steps = 0;
+    a_saved = 0;
     a_ticks = 0;
   }
 
@@ -153,7 +191,121 @@ let stats_of ctx acc =
     exhausted = Atomic.get ctx.tripped;
     replays = acc.a_replays;
     steps = acc.a_steps;
+    replay_steps_saved = acc.a_saved;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Per-worker replay state: the machine free list, the checkpoint       *)
+(* stack, and the per-address access index for the DPOR conflict scan.  *)
+(*                                                                     *)
+(* A checkpoint is a memory snapshot taken when the machine sat exactly *)
+(* after schedule position [c_depth - 1]. Machines themselves cannot be *)
+(* checkpoints — their continuations are one-shot, so a parked machine  *)
+(* is spent the moment it is stepped — but memory snapshots plus the    *)
+(* schedule's response log reconstruct the same state: restart a pooled *)
+(* machine, [feed] the logged responses (which replays control flow and *)
+(* the trace without touching memory), then restore the snapshot.       *)
+(* Checkpoint depths on the stack are strictly increasing and only ever *)
+(* refer to the current schedule's unchanged prefix: every sibling      *)
+(* replay happens at its node's depth, and drops deeper checkpoints     *)
+(* before any shallower position can change.                            *)
+(*                                                                      *)
+(* The access index keeps, per base object, a stack of the executed     *)
+(* memory transitions on the current path, packed as                    *)
+(* [(depth lsl 7) lor (pid lsl 1) lor trivial] (pid < 62 fits 6 bits).  *)
+(* The Flanagan–Godefroid conflict scan — deepest active node whose     *)
+(* executed transition is dependent with (q, eq) — becomes a walk of    *)
+(* one short per-address stack instead of the whole path.               *)
+(* ------------------------------------------------------------------ *)
+
+type ckpt = { mutable c_depth : int; c_snap : Memory.snapshot }
+
+type pstate = {
+  mutable free : Machine.t list;
+  mutable cks : ckpt array;
+  mutable n_cks : int;
+  mutable ai_stk : int array array;
+  mutable ai_len : int array;
+}
+
+let pstate_make () =
+  { free = []; cks = [||]; n_cks = 0; ai_stk = [||]; ai_len = [||] }
+
+let release ctx st m = if ctx.pool then st.free <- m :: st.free
+
+let ckpt_lay st mem depth =
+  let i = st.n_cks in
+  if i >= Array.length st.cks then begin
+    let fresh =
+      Array.init
+        (max 8 (2 * Array.length st.cks))
+        (fun j ->
+          if j < i then st.cks.(j)
+          else { c_depth = 0; c_snap = Memory.snapshot_make () })
+    in
+    st.cks <- fresh
+  end;
+  let c = st.cks.(i) in
+  c.c_depth <- depth;
+  Memory.snapshot_into mem c.c_snap;
+  st.n_cks <- i + 1
+
+(* Lay a checkpoint at [depth] if the stride wants one there and the stack
+   does not already reach it. The machine must sit exactly after schedule
+   position [depth - 1]. *)
+let maybe_ckpt ctx st m depth =
+  if
+    ctx.stride > 0 && depth > 0
+    && depth mod ctx.stride = 0
+    && (st.n_cks = 0 || st.cks.(st.n_cks - 1).c_depth < depth)
+  then ckpt_lay st (Machine.memory m) depth
+
+let ai_pack depth pid trivial = (depth lsl 7) lor (pid lsl 1) lor trivial
+
+let ai_push st addr packed =
+  if addr >= Array.length st.ai_len then begin
+    let n = max 16 (max (2 * Array.length st.ai_len) (addr + 1)) in
+    let stk = Array.make n [||] in
+    let len = Array.make n 0 in
+    Array.blit st.ai_stk 0 stk 0 (Array.length st.ai_stk);
+    Array.blit st.ai_len 0 len 0 (Array.length st.ai_len);
+    st.ai_stk <- stk;
+    st.ai_len <- len
+  end;
+  let stk = st.ai_stk.(addr) in
+  let l = st.ai_len.(addr) in
+  let stk =
+    if l >= Array.length stk then begin
+      let fresh = Array.make (max 8 (2 * Array.length stk)) 0 in
+      Array.blit stk 0 fresh 0 l;
+      st.ai_stk.(addr) <- fresh;
+      fresh
+    end
+    else stk
+  in
+  stk.(l) <- packed;
+  st.ai_len.(addr) <- l + 1
+
+let ai_pop st addr = st.ai_len.(addr) <- st.ai_len.(addr) - 1
+let ai_clear st = Array.fill st.ai_len 0 (Array.length st.ai_len) 0
+
+(* Deepest executed transition on [addr] dependent with (q, eq): skip q's
+   own entries and — when eq is trivial — other trivial entries. Returns
+   the packed entry, or -1 if the whole path commutes with (q, eq). *)
+let ai_query st addr q eq_trivial =
+  if addr >= Array.length st.ai_len then -1
+  else begin
+    let stk = st.ai_stk.(addr) in
+    let rec go i =
+      if i < 0 then -1
+      else
+        let e = Array.unsafe_get stk i in
+        if (e lsr 1) land 0x3f = q || (eq_trivial && e land 1 = 1) then
+          go (i - 1)
+        else e
+    in
+    go (st.ai_len.(addr) - 1)
+  end
 
 (* Charge one leaf (complete or cut path) against the shared budget. The
    bound is strict: exactly [max_paths] leaves are admitted, then the search
@@ -176,71 +328,150 @@ let note_violation acc sched =
 
 let step1 acc m pid =
   acc.a_steps <- acc.a_steps + 1;
-  ignore (Machine.step m pid : Machine.step_result)
+  ignore (Machine.unsafe_step m pid : Machine.step_result)
 
-(* Re-execute the current prefix on a fresh machine. *)
-let replay ctx acc sched =
+(* Produce a machine positioned after the current schedule prefix. Draws a
+   pooled machine (restarted in place) when one is free, feeds the longest
+   checkpointed prefix from the response log — counted in [a_saved], not
+   [a_steps] — restores the checkpoint's memory snapshot, and re-executes
+   only the remaining suffix for real, laying new checkpoints along it. *)
+let replay ctx acc st sched =
   acc.a_replays <- acc.a_replays + 1;
-  acc.a_steps <- acc.a_steps + sched.s_n;
-  let m = ctx.mk () in
-  for i = 0 to sched.s_n - 1 do
-    ignore (Machine.step m sched.s_a.(i) : Machine.step_result)
+  let m =
+    if ctx.pool then begin
+      match st.free with
+      | m :: rest ->
+          st.free <- rest;
+          Machine.restart m;
+          m
+      | [] -> ctx.mk ()
+    end
+    else ctx.mk ()
+  in
+  (* Checkpoints beyond the prefix belong to abandoned branches. *)
+  while st.n_cks > 0 && st.cks.(st.n_cks - 1).c_depth > sched.s_n do
+    st.n_cks <- st.n_cks - 1
   done;
+  let fed =
+    if st.n_cks > 0 then begin
+      let c = st.cks.(st.n_cks - 1) in
+      for i = 0 to c.c_depth - 1 do
+        Machine.feed m sched.s_a.(i) sched.s_resp.(i)
+          ~changed:(Bytes.get sched.s_changed i <> '\000')
+      done;
+      Memory.restore_from (Machine.memory m) c.c_snap;
+      acc.a_saved <- acc.a_saved + c.c_depth;
+      c.c_depth
+    end
+    else 0
+  in
+  if ctx.stride > 0 then
+    for i = fed to sched.s_n - 1 do
+      acc.a_steps <- acc.a_steps + 1;
+      ignore (Machine.unsafe_step m sched.s_a.(i) : Machine.step_result);
+      (* (Re)log the position: frontier-task prefixes arrive without logs. *)
+      sched.s_resp.(i) <- Machine.last_resp m;
+      Bytes.set sched.s_changed i
+        (if Machine.last_changed m then '\001' else '\000');
+      maybe_ckpt ctx st m (i + 1)
+    done
+  else
+    for i = fed to sched.s_n - 1 do
+      acc.a_steps <- acc.a_steps + 1;
+      ignore (Machine.unsafe_step m sched.s_a.(i) : Machine.step_result)
+    done;
   m
 
 (* ------------------------------------------------------------------ *)
 (* Naive exhaustive DFS (the reference the reduction is validated      *)
 (* against). The first child of each node reuses the current machine   *)
 (* in place (machines are single-shot, but the first branch needs no   *)
-(* replay); every other sibling replays its prefix on a fresh machine  *)
-(* — one replay per extra branch, not per node. Siblings are visited   *)
-(* before the in-place head branch, preserving the PR 1 leaf order.    *)
+(* replay); every other sibling replays its prefix on a pooled         *)
+(* machine — one replay per extra branch, not per node. Siblings are   *)
+(* visited before the in-place head branch, preserving the PR 1 leaf   *)
+(* order. When exactly one process is runnable the rest of the path is *)
+(* forced — runnability of a parked process never changes until it is  *)
+(* scheduled — so the whole tail runs as one fused                     *)
+(* [Machine.run_while_forced] loop without a scheduler round-trip per  *)
+(* step; no node below can branch, so no checkpoints are laid there.   *)
 (* ------------------------------------------------------------------ *)
 
-let rec naive_dfs ctx acc m sched depth =
-  if Machine.any_crashed m then begin
-    leaf ctx acc;
-    acc.a_paths <- acc.a_paths + 1;
-    note_violation acc sched
-  end
-  else begin
+let rec naive_dfs ctx acc st m sched depth0 =
+  let depth = ref depth0 in
+  let fused = ref 0 in
+  if ctx.fuse && !depth < ctx.max_steps && not (Machine.any_crashed m) then begin
     let live = live_mask m in
-    if live = 0 then begin
-      leaf ctx acc;
-      acc.a_paths <- acc.a_paths + 1;
-      if not (ctx.final m) then note_violation acc sched
+    if live <> 0 && live land (live - 1) = 0 then begin
+      let p = lowest_bit live in
+      let on_step () =
+        acc.a_steps <- acc.a_steps + 1;
+        sched_push sched m p
+      in
+      let n =
+        Machine.run_while_forced m p ~max:(ctx.max_steps - !depth) ~on_step
+      in
+      depth := !depth + n;
+      fused := n
     end
-    else if depth >= ctx.max_steps then begin
-      leaf ctx acc;
-      acc.a_cut <- acc.a_cut + 1
-    end
-    else begin
-      let n = Machine.nprocs m in
-      let head = lowest_bit live in
-      for pid = head + 1 to n - 1 do
-        if live land (1 lsl pid) <> 0 then begin
-          let m' = replay ctx acc sched in
-          step1 acc m' pid;
-          sched_push sched pid;
-          naive_dfs ctx acc m' sched (depth + 1);
-          sched_pop sched
-        end
-      done;
-      step1 acc m head;
-      sched_push sched head;
-      naive_dfs ctx acc m sched (depth + 1);
-      sched_pop sched
-    end
-  end
+  end;
+  (if Machine.any_crashed m then begin
+     leaf ctx acc;
+     acc.a_paths <- acc.a_paths + 1;
+     note_violation acc sched;
+     release ctx st m
+   end
+   else begin
+     let live = live_mask m in
+     if live = 0 then begin
+       leaf ctx acc;
+       acc.a_paths <- acc.a_paths + 1;
+       if not (ctx.final m) then note_violation acc sched;
+       release ctx st m
+     end
+     else if !depth >= ctx.max_steps then begin
+       leaf ctx acc;
+       acc.a_cut <- acc.a_cut + 1;
+       release ctx st m
+     end
+     else begin
+       maybe_ckpt ctx st m !depth;
+       let n = Machine.nprocs m in
+       let head = lowest_bit live in
+       for pid = head + 1 to n - 1 do
+         if live land (1 lsl pid) <> 0 then begin
+           let m' = replay ctx acc st sched in
+           step1 acc m' pid;
+           sched_push sched m' pid;
+           naive_dfs ctx acc st m' sched (!depth + 1);
+           sched_pop sched
+         end
+       done;
+       (* The sibling subtrees above laid checkpoints along their own
+          branches; the in-place head branch changes position [!depth]
+          without going through [replay], so drop them explicitly. (Dpor
+          needs no such drop: its in-place branch runs first.) *)
+       while st.n_cks > 0 && st.cks.(st.n_cks - 1).c_depth > !depth do
+         st.n_cks <- st.n_cks - 1
+       done;
+       step1 acc m head;
+       sched_push sched m head;
+       naive_dfs ctx acc st m sched (!depth + 1);
+       sched_pop sched
+     end
+   end);
+  for _ = 1 to !fused do
+    sched_pop sched
+  done
 
 (* ------------------------------------------------------------------ *)
 (* DPOR: sleep sets + dynamically computed persistent (backtrack) sets *)
 (* in the style of Flanagan–Godefroid. Each node on the current path   *)
 (* records the transition taken from it; when a new transition is      *)
-(* about to execute, the deepest earlier step it depends on gets a     *)
-(* backtrack point, forcing the conflicting orders to be explored.     *)
-(* Sleep sets carry already-covered transitions into sibling subtrees  *)
-(* and prune them until a dependent step wakes them.                   *)
+(* about to execute, the deepest earlier step it depends on (found via *)
+(* the per-address access index) gets a backtrack point, forcing the   *)
+(* conflicting orders to be explored. Sleep sets carry already-covered *)
+(* transitions into sibling subtrees and prune them until a dependent  *)
+(* step wakes them.                                                    *)
 (*                                                                     *)
 (* All process sets are bitmasks. A sleep set stores only pids: the    *)
 (* sleeping process has not been scheduled since it went to sleep, so  *)
@@ -254,10 +485,8 @@ type node = {
   mutable n_backtrack : int;
   mutable n_done : int;
   mutable n_sleep : int;
-  mutable n_exec_pid : int;  (* transition taken from this node; -1 = none *)
-  mutable n_exec_pend : int;
+  mutable n_exec_pend : int;  (* transition taken from this node; -1 = none *)
   n_pend : int array;  (* packed pending transition per enabled pid *)
-  mutable n_active : bool;  (* on the current path (conflict-scan fence) *)
 }
 
 let node_make nprocs =
@@ -266,134 +495,208 @@ let node_make nprocs =
     n_backtrack = 0;
     n_done = 0;
     n_sleep = 0;
-    n_exec_pid = -1;
     n_exec_pend = pause_pend;
     n_pend = Array.make nprocs pause_pend;
-    n_active = false;
   }
 
 let stack_make ctx nprocs =
   Array.init (ctx.max_steps + 1) (fun _ -> node_make nprocs)
 
-let rec dpor_dfs ctx acc stack m sched depth sleep0 =
-  if Machine.any_crashed m then begin
-    leaf ctx acc;
-    acc.a_paths <- acc.a_paths + 1;
-    note_violation acc sched
+(* Conflict analysis for one enabled transition (q, eq): find the most
+   recent step of another process it depends on and add a backtrack point
+   there, so the reversed order is explored too. If the transition's
+   process was not enabled at that node, conservatively back-track every
+   enabled process. A pause (eq < 0) depends on no other process's step,
+   so it never scans. *)
+let scan_add st stack nprocs q eq =
+  if eq >= 0 then begin
+    let e = ai_query st (eq lsr 1) q (eq land 1 = 1) in
+    if e >= 0 then begin
+      let a = stack.(e lsr 7) in
+      let add r =
+        if a.n_backtrack land (1 lsl r) = 0 && a.n_done land (1 lsl r) = 0
+        then a.n_backtrack <- a.n_backtrack lor (1 lsl r)
+      in
+      if a.n_enabled land (1 lsl q) <> 0 then add q
+      else
+        for r = 0 to nprocs - 1 do
+          if a.n_enabled land (1 lsl r) <> 0 then add r
+        done
+    end
   end
-  else begin
-    let live = live_mask m in
-    if live = 0 then begin
-      leaf ctx acc;
-      acc.a_paths <- acc.a_paths + 1;
-      if not (ctx.final m) then note_violation acc sched
-    end
-    else if depth >= ctx.max_steps then begin
-      leaf ctx acc;
-      acc.a_cut <- acc.a_cut + 1
-    end
-    else begin
-      let n = Machine.nprocs m in
-      let nd = stack.(depth) in
-      nd.n_enabled <- live;
-      nd.n_backtrack <- 0;
-      nd.n_done <- 0;
-      nd.n_sleep <- sleep0;
-      nd.n_exec_pid <- -1;
-      for pid = 0 to n - 1 do
-        nd.n_pend.(pid) <-
-          (if live land (1 lsl pid) <> 0 then pend_of m pid else pause_pend)
-      done;
-      (* Conflict analysis: for each enabled transition, find the most
-         recent step of another process it depends on and add a backtrack
-         point there, so the reversed order is explored too. If the
-         transition's process was not enabled at that node, conservatively
-         back-track every enabled process. *)
-      for q = 0 to n - 1 do
-        if live land (1 lsl q) <> 0 then begin
-          let eq = nd.n_pend.(q) in
-          let rec scan i =
-            if i >= 0 then begin
-              let a = stack.(i) in
-              if a.n_active then
-                if
-                  a.n_exec_pid >= 0 && a.n_exec_pid <> q
-                  && dependent a.n_exec_pid a.n_exec_pend q eq
-                then begin
-                  let add r =
-                    if
-                      a.n_backtrack land (1 lsl r) = 0
-                      && a.n_done land (1 lsl r) = 0
-                    then a.n_backtrack <- a.n_backtrack lor (1 lsl r)
-                  in
-                  if a.n_enabled land (1 lsl q) <> 0 then add q
-                  else
-                    for r = 0 to n - 1 do
-                      if a.n_enabled land (1 lsl r) <> 0 then add r
-                    done
-                end
-                else scan (i - 1)
-            end
-          in
-          scan (depth - 1)
-        end
-      done;
-      nd.n_active <- true;
-      let awake = live land lnot nd.n_sleep in
-      if awake = 0 then
-        (* sleep-blocked: every enabled transition is covered by an
-           already-explored sibling subtree *)
-        acc.a_pruned <- acc.a_pruned + 1
+
+let rec dpor_dfs ctx acc st stack m sched depth0 sleep0 =
+  let depth = ref depth0 and sleep = ref sleep0 in
+  (* Forced-run fusion: while the only awake process [p] is forced — either
+     it is the only runnable one, or its next step is trivial and every
+     other enabled process is asleep — the branch structure is fixed: the
+     node's backtrack set starts and ends as {p} (conflict-scan additions
+     can only name enabled processes other than p, all of which are asleep
+     here and would be pruned, which the unwind below tallies). So [p] is
+     stepped in a tight loop; each fused step still records a full node and
+     runs the conflict scan for every enabled process, keeping ancestor
+     backtrack sets — and hence paths/cut/pruned/violations — bit-identical
+     to the unfused search. *)
+  let fused = ref 0 in
+  if ctx.fuse then begin
+    let continue_ = ref true in
+    while !continue_ do
+      if !depth >= ctx.max_steps || Machine.any_crashed m then
+        continue_ := false
       else begin
-        nd.n_backtrack <- 1 lsl lowest_bit awake;
-        let in_place = ref true in
-        let rec branches () =
-          let cand = nd.n_backtrack land lnot nd.n_done in
-          if cand <> 0 then begin
-            let q = lowest_bit cand in
-            nd.n_done <- nd.n_done lor (1 lsl q);
-            if nd.n_sleep land (1 lsl q) <> 0 then begin
-              (* covered by the subtree that put [q] to sleep *)
-              acc.a_pruned <- acc.a_pruned + 1;
-              branches ()
-            end
-            else begin
-              let eq = nd.n_pend.(q) in
-              (* sleeping transitions dependent on (q, eq) wake up: only
-                 the independent ones carry into the child *)
-              let child_sleep = ref 0 in
-              let rec filter rest =
-                if rest <> 0 then begin
-                  let s = lowest_bit rest in
-                  if not (dependent q eq s nd.n_pend.(s)) then
-                    child_sleep := !child_sleep lor (1 lsl s);
-                  filter (rest land (rest - 1))
-                end
-              in
-              filter nd.n_sleep;
-              let m' =
-                if !in_place then begin
-                  in_place := false;
-                  m
-                end
-                else replay ctx acc sched
-              in
-              nd.n_exec_pid <- q;
-              nd.n_exec_pend <- eq;
-              step1 acc m' q;
-              sched_push sched q;
-              dpor_dfs ctx acc stack m' sched (depth + 1) !child_sleep;
-              sched_pop sched;
-              nd.n_sleep <- nd.n_sleep lor (1 lsl q);
-              branches ()
-            end
+        let live = live_mask m in
+        let awake = live land lnot !sleep in
+        if awake = 0 || awake land (awake - 1) <> 0 then continue_ := false
+        else begin
+          let p = lowest_bit awake in
+          let ep = Machine.packed_pend m p in
+          if not (live = awake || (ep >= 0 && ep land 1 = 1)) then
+            continue_ := false
+          else begin
+            let n = Machine.nprocs m in
+            let nd = stack.(!depth) in
+            nd.n_enabled <- live;
+            nd.n_backtrack <- 1 lsl p;
+            nd.n_done <- 1 lsl p;
+            nd.n_sleep <- !sleep;
+            nd.n_exec_pend <- ep;
+            for pid = 0 to n - 1 do
+              nd.n_pend.(pid) <-
+                (if live land (1 lsl pid) <> 0 then Machine.packed_pend m pid
+                 else pause_pend)
+            done;
+            for q = 0 to n - 1 do
+              if live land (1 lsl q) <> 0 then
+                scan_add st stack n q nd.n_pend.(q)
+            done;
+            step1 acc m p;
+            sched_push sched m p;
+            if ep >= 0 then ai_push st (ep lsr 1) (ai_pack !depth p (ep land 1));
+            (* sleeping transitions dependent on (p, ep) wake up *)
+            let s' = ref 0 in
+            let rec filter rest =
+              if rest <> 0 then begin
+                let s = lowest_bit rest in
+                if not (dependent p ep s nd.n_pend.(s)) then
+                  s' := !s' lor (1 lsl s);
+                filter (rest land (rest - 1))
+              end
+            in
+            filter !sleep;
+            sleep := !s';
+            incr depth;
+            incr fused;
+            maybe_ckpt ctx st m !depth
           end
-        in
-        branches ()
-      end;
-      nd.n_active <- false
-    end
-  end
+        end
+      end
+    done
+  end;
+  (if Machine.any_crashed m then begin
+     leaf ctx acc;
+     acc.a_paths <- acc.a_paths + 1;
+     note_violation acc sched;
+     release ctx st m
+   end
+   else begin
+     let live = live_mask m in
+     if live = 0 then begin
+       leaf ctx acc;
+       acc.a_paths <- acc.a_paths + 1;
+       if not (ctx.final m) then note_violation acc sched;
+       release ctx st m
+     end
+     else if !depth >= ctx.max_steps then begin
+       leaf ctx acc;
+       acc.a_cut <- acc.a_cut + 1;
+       release ctx st m
+     end
+     else begin
+       maybe_ckpt ctx st m !depth;
+       let n = Machine.nprocs m in
+       let nd = stack.(!depth) in
+       nd.n_enabled <- live;
+       nd.n_backtrack <- 0;
+       nd.n_done <- 0;
+       nd.n_sleep <- !sleep;
+       nd.n_exec_pend <- pause_pend;
+       for pid = 0 to n - 1 do
+         nd.n_pend.(pid) <-
+           (if live land (1 lsl pid) <> 0 then Machine.packed_pend m pid
+            else pause_pend)
+       done;
+       for q = 0 to n - 1 do
+         if live land (1 lsl q) <> 0 then scan_add st stack n q nd.n_pend.(q)
+       done;
+       let awake = live land lnot nd.n_sleep in
+       if awake = 0 then begin
+         (* sleep-blocked: every enabled transition is covered by an
+            already-explored sibling subtree *)
+         acc.a_pruned <- acc.a_pruned + 1;
+         release ctx st m
+       end
+       else begin
+         nd.n_backtrack <- 1 lsl lowest_bit awake;
+         let in_place = ref true in
+         let rec branches () =
+           let cand = nd.n_backtrack land lnot nd.n_done in
+           if cand <> 0 then begin
+             let q = lowest_bit cand in
+             nd.n_done <- nd.n_done lor (1 lsl q);
+             if nd.n_sleep land (1 lsl q) <> 0 then begin
+               (* covered by the subtree that put [q] to sleep *)
+               acc.a_pruned <- acc.a_pruned + 1;
+               branches ()
+             end
+             else begin
+               let eq = nd.n_pend.(q) in
+               (* sleeping transitions dependent on (q, eq) wake up: only
+                  the independent ones carry into the child *)
+               let child_sleep = ref 0 in
+               let rec filter rest =
+                 if rest <> 0 then begin
+                   let s = lowest_bit rest in
+                   if not (dependent q eq s nd.n_pend.(s)) then
+                     child_sleep := !child_sleep lor (1 lsl s);
+                   filter (rest land (rest - 1))
+                 end
+               in
+               filter nd.n_sleep;
+               let m' =
+                 if !in_place then begin
+                   in_place := false;
+                   m
+                 end
+                 else replay ctx acc st sched
+               in
+               nd.n_exec_pend <- eq;
+               step1 acc m' q;
+               sched_push sched m' q;
+               if eq >= 0 then
+                 ai_push st (eq lsr 1) (ai_pack !depth q (eq land 1));
+               dpor_dfs ctx acc st stack m' sched (!depth + 1) !child_sleep;
+               if eq >= 0 then ai_pop st (eq lsr 1);
+               sched_pop sched;
+               nd.n_sleep <- nd.n_sleep lor (1 lsl q);
+               branches ()
+             end
+           end
+         in
+         branches ()
+       end
+     end
+   end);
+  (* Unwind the fused prefix: backtrack points added at fused nodes by
+     deeper conflict scans name asleep processes — the unfused search would
+     have found each asleep in branches() and counted it pruned. (Skipped
+     when Budget unwinds through here, matching the abandoned branches()
+     loops of the unfused search.) *)
+  for i = !depth - 1 downto depth0 do
+    let nd = stack.(i) in
+    acc.a_pruned <- acc.a_pruned + popcount (nd.n_backtrack land lnot nd.n_done);
+    if nd.n_exec_pend >= 0 then ai_pop st (nd.n_exec_pend lsr 1);
+    sched_pop sched
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Driver: sequential, or a frontier work queue across domains.        *)
@@ -409,6 +712,7 @@ let empty_stats =
     exhausted = false;
     replays = 0;
     steps = 0;
+    replay_steps_saved = 0;
   }
 
 let merge_stats s r =
@@ -424,6 +728,7 @@ let merge_stats s r =
     exhausted = s.exhausted || r.exhausted;
     replays = s.replays + r.replays;
     steps = s.steps + r.steps;
+    replay_steps_saved = s.replay_steps_saved + r.replay_steps_saved;
   }
 
 (* A subtree task for the parallel driver: the schedule prefix reaching the
@@ -437,14 +742,17 @@ type task = { t_prefix : int array; t_sleep : int }
    branch — a sound superset of any persistent set — and branch [i] starts
    with the still-independent earlier branches asleep, exactly the PR 1
    root-split rule applied at every frontier node. *)
-let expand_node ctx acc mode task' =
-  let sched = sched_make () in
+let expand_node ctx acc st mode task' =
+  let sched = sched_make ~log:(ctx.stride > 0) () in
   sched_reset sched task'.t_prefix;
-  let m = replay ctx acc sched in
+  (* the previous frontier node's checkpoints describe another prefix *)
+  st.n_cks <- 0;
+  let m = replay ctx acc st sched in
   if Machine.any_crashed m then begin
     leaf ctx acc;
     acc.a_paths <- acc.a_paths + 1;
     note_violation acc sched;
+    release ctx st m;
     []
   end
   else begin
@@ -453,11 +761,13 @@ let expand_node ctx acc mode task' =
       leaf ctx acc;
       acc.a_paths <- acc.a_paths + 1;
       if not (ctx.final m) then note_violation acc sched;
+      release ctx st m;
       []
     end
     else if Array.length task'.t_prefix >= ctx.max_steps then begin
       leaf ctx acc;
       acc.a_cut <- acc.a_cut + 1;
+      release ctx st m;
       []
     end
     else begin
@@ -467,59 +777,56 @@ let expand_node ctx acc mode task' =
         Array.blit task'.t_prefix 0 prefix 0 (Array.length task'.t_prefix);
         { t_prefix = prefix; t_sleep = sleep }
       in
-      match mode with
-      | Naive ->
-          let children = ref [] in
-          for q = n - 1 downto 0 do
-            if live land (1 lsl q) <> 0 then children := child q 0 :: !children
-          done;
-          !children
-      | Dpor ->
-          let pend = Array.make n pause_pend in
-          for q = 0 to n - 1 do
-            if live land (1 lsl q) <> 0 then pend.(q) <- pend_of m q
-          done;
-          let sleep = ref task'.t_sleep in
-          let children = ref [] in
-          for q = 0 to n - 1 do
-            if live land (1 lsl q) <> 0 then
-              if !sleep land (1 lsl q) <> 0 then
-                (* covered by an earlier sibling's subtree *)
-                acc.a_pruned <- acc.a_pruned + 1
-              else begin
-                let child_sleep = ref 0 in
-                let rec filter rest =
-                  if rest <> 0 then begin
-                    let s = lowest_bit rest in
-                    if not (dependent q pend.(q) s pend.(s)) then
-                      child_sleep := !child_sleep lor (1 lsl s);
-                    filter (rest land (rest - 1))
-                  end
-                in
-                filter !sleep;
-                children := child q !child_sleep :: !children;
-                sleep := !sleep lor (1 lsl q)
-              end
-          done;
-          List.rev !children
+      let children =
+        match mode with
+        | Naive ->
+            let children = ref [] in
+            for q = n - 1 downto 0 do
+              if live land (1 lsl q) <> 0 then
+                children := child q 0 :: !children
+            done;
+            !children
+        | Dpor ->
+            let pend = Array.make n pause_pend in
+            for q = 0 to n - 1 do
+              if live land (1 lsl q) <> 0 then
+                pend.(q) <- Machine.packed_pend m q
+            done;
+            let sleep = ref task'.t_sleep in
+            let children = ref [] in
+            for q = 0 to n - 1 do
+              if live land (1 lsl q) <> 0 then
+                if !sleep land (1 lsl q) <> 0 then
+                  (* covered by an earlier sibling's subtree *)
+                  acc.a_pruned <- acc.a_pruned + 1
+                else begin
+                  let child_sleep = ref 0 in
+                  let rec filter rest =
+                    if rest <> 0 then begin
+                      let s = lowest_bit rest in
+                      if not (dependent q pend.(q) s pend.(s)) then
+                        child_sleep := !child_sleep lor (1 lsl s);
+                      filter (rest land (rest - 1))
+                    end
+                  in
+                  filter !sleep;
+                  children := child q !child_sleep :: !children;
+                  sleep := !sleep lor (1 lsl q)
+                end
+            done;
+            List.rev !children
+      in
+      release ctx st m;
+      children
     end
   end
 
 let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
-    ?(max_paths = 1_000_000) ?(mode = Naive) ?(domains = 1) ?progress
+    ?(max_paths = 1_000_000) ?(mode = Naive) ?(domains = 1) ?(pool = true)
+    ?(checkpoint_stride = 4) ?(fuse = true) ?progress
     ?(progress_every = 10_000) () =
-  let ctx =
-    {
-      mk;
-      final;
-      max_steps;
-      max_paths;
-      spent = Atomic.make 0;
-      tripped = Atomic.make false;
-      progress;
-      progress_every;
-    }
-  in
+  if checkpoint_stride < 0 then
+    invalid_arg "Explore.run: checkpoint_stride must be >= 0";
   let root = mk () in
   let nprocs = Machine.nprocs root in
   if nprocs > max_procs then
@@ -528,17 +835,46 @@ let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
          "Explore.run: %d processes, but the bitmask sleep/backtrack sets \
           support at most %d"
          nprocs max_procs);
-  let explore_sub acc stack m sched depth sleep0 =
+  (* Pooling replays via [Machine.restart], which returns to the true
+     initial state; if [mk] pre-steps the machine, a restarted machine
+     would diverge from a fresh one, so fall back to building machines.
+     (Checkpointed replay is unaffected: it feeds schedules recorded from
+     [mk]-built machines back into [mk]-built machines.) *)
+  let pre_stepped =
+    let r = ref false in
+    for pid = 0 to nprocs - 1 do
+      if Machine.steps_of root pid > 0 then r := true
+    done;
+    !r
+  in
+  let ctx =
+    {
+      mk;
+      final;
+      max_steps;
+      max_paths;
+      pool = pool && not pre_stepped;
+      stride = checkpoint_stride;
+      fuse;
+      spent = Atomic.make 0;
+      tripped = Atomic.make false;
+      progress;
+      progress_every;
+    }
+  in
+  let explore_sub acc st stack m sched depth sleep0 =
     match mode with
-    | Naive -> naive_dfs ctx acc m sched depth
-    | Dpor -> dpor_dfs ctx acc stack m sched depth sleep0
+    | Naive -> naive_dfs ctx acc st m sched depth
+    | Dpor -> dpor_dfs ctx acc st stack m sched depth sleep0
   in
   if domains <= 1 || max_steps <= 0 || Machine.any_crashed root then begin
     let acc = fresh_acc () in
+    let st = pstate_make () in
     let stack =
       match mode with Naive -> [||] | Dpor -> stack_make ctx nprocs
     in
-    (try explore_sub acc stack root (sched_make ()) 0 0 with Budget -> ());
+    (try explore_sub acc st stack root (sched_make ~log:(ctx.stride > 0) ()) 0 0
+     with Budget -> ());
     stats_of ctx acc
   end
   else begin
@@ -553,6 +889,7 @@ let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
     let target = 4 * domains in
     let depth_cap = min max_steps 12 in
     let base = fresh_acc () in
+    let seed_st = pstate_make () in
     let budget_in_seed = ref false in
     let tasks = ref [ { t_prefix = [||]; t_sleep = 0 } ] in
     (try
@@ -561,7 +898,7 @@ let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
        while (not !stop) && List.length !tasks < target && !depth < depth_cap
        do
          let expanded =
-           List.concat_map (fun t -> expand_node ctx base mode t) !tasks
+           List.concat_map (fun t -> expand_node ctx base seed_st mode t) !tasks
          in
          (* an empty expansion means every frontier node was a leaf *)
          if expanded = [] then stop := true;
@@ -576,7 +913,8 @@ let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
       let results = Array.make nt empty_stats in
       let next = Atomic.make 0 in
       let worker () =
-        let sched = sched_make () in
+        let sched = sched_make ~log:(ctx.stride > 0) () in
+        let st = pstate_make () in
         let stack =
           match mode with Naive -> [||] | Dpor -> stack_make ctx nprocs
         in
@@ -586,9 +924,13 @@ let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
             let t = tasks.(i) in
             let acc = fresh_acc () in
             (try
+               (* the previous task's replay state describes another
+                  prefix; a Budget unwind also leaves it unpopped *)
+               st.n_cks <- 0;
+               ai_clear st;
                sched_reset sched t.t_prefix;
-               let m = replay ctx acc sched in
-               explore_sub acc stack m sched (Array.length t.t_prefix)
+               let m = replay ctx acc st sched in
+               explore_sub acc st stack m sched (Array.length t.t_prefix)
                  t.t_sleep
              with Budget -> ());
             results.(i) <- stats_of ctx acc;

@@ -54,9 +54,17 @@ type stats = {
       (** the path budget tripped: the stats are a partial tally of an
           incomplete search (any witness found so far is still reported) *)
   replays : int;
-      (** fresh machines built to re-execute a schedule prefix (one per
-          non-first sibling branch, plus one per parallel subtree task) *)
-  steps : int;  (** total machine steps executed, replayed prefixes included *)
+      (** machines (re)initialized to re-execute a schedule prefix (one per
+          non-first sibling branch, plus one per parallel subtree task);
+          pooled machines are restarted in place rather than rebuilt *)
+  steps : int;
+      (** machine steps actually executed, re-executed replay suffixes
+          included; [steps + replay_steps_saved] is invariant across
+          checkpointing settings (and equals [steps] with checkpointing
+          off) *)
+  replay_steps_saved : int;
+      (** replayed prefix steps that were fed from a checkpoint's response
+          log instead of re-executed (0 when [checkpoint_stride = 0]) *)
 }
 
 type mode =
@@ -70,6 +78,9 @@ val run :
   ?max_paths:int ->
   ?mode:mode ->
   ?domains:int ->
+  ?pool:bool ->
+  ?checkpoint_stride:int ->
+  ?fuse:bool ->
   ?progress:(stats -> unit) ->
   ?progress_every:int ->
   unit ->
@@ -93,6 +104,27 @@ val run :
     [Dpor] mode the per-task path counts can differ from the single-domain
     search (each frontier node explores all enabled branches — a sound
     superset of its computed persistent set); the verdict does not.
+
+    Replay machinery — none of it changes which schedules are explored;
+    [paths]/[cut]/[pruned]/[violations] are bit-identical across every
+    combination of the three switches:
+
+    - [pool] (default [true]) recycles finished machines through a
+      per-worker free list: a sibling replay restarts a pooled machine in
+      place ({!Machine.restart}) instead of calling [mk]. This requires
+      [mk] to confine all mutable state to the machine (programs must not
+      capture external [ref]s — put such state in machine cells) and not
+      to step the machine; if [mk] pre-steps, pooling is disabled
+      automatically.
+    - [checkpoint_stride] (default 4; 0 disables) keeps a stack of memory
+      snapshots at ancestor depths that are multiples of the stride. A
+      sibling replay feeds the logged responses of the checkpointed prefix
+      back into the restarted machine's continuations ({!Machine.feed}) —
+      counted in [replay_steps_saved], not [steps] — and re-executes only
+      the suffix.
+    - [fuse] (default [true]) executes forced runs (a single runnable
+      process, or in [Dpor] mode a single awake process whose next step is
+      trivial) in a tight loop without a per-step scheduler round-trip.
 
     [progress] (with [progress_every], default 10_000) is invoked with a
     snapshot of the calling worker's tallies every [progress_every] leaves

@@ -7,19 +7,38 @@ type step_result = [ `Progress | `Paused | `Done ]
 type slot = {
   mutable outcome : Proc.outcome option;  (* None = idle *)
   mutable steps : int;
+  mutable prog : (unit -> unit) option;  (* retained for [restart] *)
 }
 
 type t = {
   memory : Memory.t;
   trace : Trace.t;
   procs : slot array;
+  spawn_seq : int array;  (* pids in first-spawn order *)
+  mutable nspawned : int;
+  (* Memory size just before the first program ran: [reset] truncates back
+     to it, so cells allocated by program code (rather than by set-up) are
+     re-allocated at the same addresses when the programs re-run. *)
+  mutable base_cells : int;
+  (* Response of the last executed memory step, for schedulers that log
+     responses to later [feed] them back (checkpointed replay).
+     [last_changed] is only meaningful when the trace sink is recording;
+     with [Trace.Off] it is left [false], which is fine because feeding
+     under [Off] only ticks the seq counter. *)
+  mutable last_resp : Value.t;
+  mutable last_changed : bool;
 }
 
 let create ?(trace = Trace.Full) ~nprocs () =
   {
     memory = Memory.create ();
     trace = Trace.create ~sink:trace ();
-    procs = Array.init nprocs (fun _ -> { outcome = None; steps = 0 });
+    procs = Array.init nprocs (fun _ -> { outcome = None; steps = 0; prog = None });
+    spawn_seq = Array.make (max 1 nprocs) 0;
+    nspawned = 0;
+    base_cells = -1;
+    last_resp = Value.Unit;
+    last_changed = false;
   }
 
 let nprocs t = Array.length t.procs
@@ -44,7 +63,33 @@ let rec drain t pid (o : Proc.outcome) : Proc.outcome =
 let spawn t pid f =
   let s = slot t pid in
   if s.outcome <> None then invalid_arg "Machine.spawn: process already spawned";
+  if t.base_cells < 0 then t.base_cells <- Memory.size t.memory;
+  if s.prog = None then begin
+    t.spawn_seq.(t.nspawned) <- pid;
+    t.nspawned <- t.nspawned + 1
+  end;
+  s.prog <- Some f;
   s.outcome <- Some (drain t pid (Proc.start f))
+
+let reset t =
+  if t.base_cells >= 0 then Memory.truncate t.memory t.base_cells;
+  Memory.reset t.memory;
+  Trace.clear t.trace;
+  Array.iter
+    (fun s ->
+      s.outcome <- None;
+      s.steps <- 0)
+    t.procs
+
+let restart t =
+  reset t;
+  for i = 0 to t.nspawned - 1 do
+    let pid = t.spawn_seq.(i) in
+    let s = t.procs.(pid) in
+    match s.prog with
+    | Some f -> s.outcome <- Some (drain t pid (Proc.start f))
+    | None -> assert false
+  done
 
 let status t pid =
   match (slot t pid).outcome with
@@ -77,8 +122,16 @@ let any_crashed t =
   in
   go 0
 
-let step t pid : step_result =
-  let s = slot t pid in
+(* Packed pending event for the explorer: [(addr lsl 1) lor trivial] for a
+   memory request, [-1] for a pause, [-2] when not runnable. *)
+let packed_pend t pid =
+  match t.procs.(pid).outcome with
+  | Some (Proc.Wants_mem ({ Proc.addr; prim }, _)) ->
+      (addr lsl 1) lor (if Primitive.is_trivial prim then 1 else 0)
+  | Some (Proc.Wants_pause _) -> -1
+  | _ -> -2
+
+let step_slot t pid (s : slot) : step_result =
   match s.outcome with
   | None | Some Proc.Done | Some (Proc.Failed _) -> `Done
   | Some (Proc.Wants_note _) -> assert false
@@ -90,17 +143,58 @@ let step t pid : step_result =
         if Trace.recording t.trace then begin
           let resp, changed = Memory.apply t.memory ~pid addr prim in
           Trace.add_mem t.trace ~pid ~addr prim resp changed;
+          t.last_changed <- changed;
           resp
         end
         else begin
           (* trace off: no entry is built, the event is only counted *)
           Trace.tick t.trace;
+          t.last_changed <- false;
           Memory.apply_fast t.memory ~pid addr prim
         end
       in
+      t.last_resp <- resp;
       s.steps <- s.steps + 1;
       s.outcome <- Some (drain t pid (Effect.Deep.continue k resp));
       `Progress
+
+let step t pid : step_result = step_slot t pid (slot t pid)
+
+(* Explorer hot path: pids come from validated schedules, skip the bounds
+   check the public [step] performs on every call. *)
+let unsafe_step t pid : step_result =
+  step_slot t pid (Array.unsafe_get t.procs pid)
+
+let last_resp t = t.last_resp
+let last_changed t = t.last_changed
+
+let feed t pid resp ~changed =
+  let s = t.procs.(pid) in
+  match s.outcome with
+  | Some (Proc.Wants_pause k) ->
+      (* Pauses consume no event and record nothing, exactly like [step]. *)
+      s.outcome <- Some (drain t pid (Effect.Deep.continue k ()))
+  | Some (Proc.Wants_mem ({ Proc.addr; prim }, k)) ->
+      Trace.add_mem t.trace ~pid ~addr prim resp changed;
+      s.steps <- s.steps + 1;
+      s.outcome <- Some (drain t pid (Effect.Deep.continue k resp))
+  | _ -> invalid_arg "Machine.feed: process not runnable"
+
+let run_while_forced t pid ~max ~on_step =
+  let s = Array.unsafe_get t.procs pid in
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue && !n < max do
+    (match step_slot t pid s with
+    | `Done -> continue := false
+    | `Progress | `Paused ->
+        incr n;
+        on_step ());
+    match s.outcome with
+    | Some (Proc.Wants_mem _ | Proc.Wants_pause _) -> ()
+    | _ -> continue := false
+  done;
+  !n
 
 let steps_of t pid = (slot t pid).steps
 

@@ -36,6 +36,27 @@ val spawn : t -> pid -> (unit -> unit) -> unit
 (** Install and start [pid]'s program; runs it up to its first effect.
     Raises [Invalid_argument] if [pid] already has a program. *)
 
+val reset : t -> unit
+(** Return the machine to its post-allocation initial state in place: every
+    cell back to its [alloc]-time value, the trace cleared (seq counter
+    included), every process back to [Idle] with a zero step count. Programs
+    remain installed but not started; {!restart} re-runs them, or {!spawn}
+    may install replacements. Memory is truncated back to its size at the
+    first {!spawn}, so cells allocated by program code (e.g. per-transaction
+    descriptors) are forgotten and re-allocated at the same addresses when
+    the programs re-run; set-up code must therefore allocate all shared
+    cells {e before} the first [spawn]. The memory array, trace buffer and
+    process table are all reused. *)
+
+val restart : t -> unit
+(** {!reset}, then re-start every installed program, in the order the
+    programs were first spawned (spawn order matters: programs may emit
+    notes before their first event). After [restart] the machine is
+    observationally identical to a freshly-built one running the same
+    set-up — {e provided} the programs do not capture mutable state outside
+    the machine (captured [ref]s or closures over external state survive
+    the reset and leak between runs; put such state in machine cells). *)
+
 val status : t -> pid -> status
 
 val is_runnable : t -> pid -> bool
@@ -57,6 +78,43 @@ val step : t -> pid -> step_result
     applying an event; the pause is consumed. Stepping a terminated or idle
     process returns [`Done]. A program that raises is marked [Crashed] and
     returns [`Done]. *)
+
+val unsafe_step : t -> pid -> step_result
+(** {!step} without the pid bounds check — for the schedule explorer, whose
+    pids come from validated schedules. Out-of-range pids are undefined
+    behaviour. *)
+
+val packed_pend : t -> pid -> int
+(** The event [pid] is poised to apply, packed allocation-free:
+    [(addr lsl 1) lor trivial] for a memory request ([trivial] per
+    {!Primitive.is_trivial}), [-1] for a pause, [-2] when not runnable. *)
+
+val last_resp : t -> Value.t
+(** Response of the most recent memory step ({!step}, {!unsafe_step} or
+    {!run_while_forced}) on this machine. Schedulers log it to later
+    {!feed} it back during checkpointed replay. *)
+
+val last_changed : t -> bool
+(** Whether the most recent memory step changed its cell. Only meaningful
+    while the trace sink is recording; [false] under {!Trace.Off} (where
+    {!feed} ignores it anyway). *)
+
+val feed : t -> pid -> Value.t -> changed:bool -> unit
+(** Replay one logged step without touching memory: resume [pid]'s parked
+    continuation with the recorded response (for a pause, with [()]),
+    recording the trace entry / seq tick and step count exactly as {!step}
+    would have. The caller is responsible for the response being the one
+    this schedule position originally produced, and for restoring memory
+    (e.g. {!Memory.restore_from}) before real steps resume.
+    Raises [Invalid_argument] if [pid] is not runnable. *)
+
+val run_while_forced : t -> pid -> max:int -> on_step:(unit -> unit) -> int
+(** Step [pid] repeatedly — at most [max] times, stopping as soon as it is
+    no longer runnable — calling [on_step] after each consumed step (pauses
+    included). Returns the number of steps consumed. This is the forced-run
+    fast path: when the scheduler has established that [pid] is the only
+    process it may schedule, the whole run executes without a scheduler
+    round-trip per step. *)
 
 val steps_of : t -> pid -> int
 (** Number of events (primitive applications) performed by [pid] so far. *)

@@ -1,20 +1,30 @@
 type addr = int
 
+(* Load-links are a pid bitmask for pids 0..61 (the explorer enforces
+   nprocs <= 62); pids >= 62 — reachable only from direct Machine use, e.g.
+   the Theorem 9 LL/SC sweeps — overflow into the cold [links_hi] list. *)
 type cell = {
   mutable v : Value.t;
+  init : Value.t;  (* value at [alloc] time, restored by [reset] *)
   name : string;
   owner : int option;
-  mutable links : int list;  (* pids holding a valid load-link *)
+  mutable links : int;  (* bitmask of pids < 62 holding a valid load-link *)
+  mutable links_hi : int list;  (* pids >= 62 holding a valid load-link *)
 }
 
 type t = { mutable cells : cell array; mutable n : int }
 
 let create () = { cells = [||]; n = 0 }
 
+(* Filler for unallocated slots; never observable (reads bound-check
+   against [n], and [alloc] overwrites the whole slot). *)
+let dummy =
+  { v = Value.Unit; init = Value.Unit; name = ""; owner = None;
+    links = 0; links_hi = [] }
+
 let grow t =
   let cap = Array.length t.cells in
   if t.n >= cap then begin
-    let dummy = { v = Value.Unit; name = ""; owner = None; links = [] } in
     let fresh = Array.make (max 16 (2 * cap)) dummy in
     Array.blit t.cells 0 fresh 0 t.n;
     t.cells <- fresh
@@ -23,7 +33,7 @@ let grow t =
 let alloc t ?owner ~name v =
   grow t;
   let a = t.n in
-  t.cells.(a) <- { v; name; owner; links = [] };
+  t.cells.(a) <- { v; init = v; name; owner; links = 0; links_hi = [] };
   t.n <- t.n + 1;
   a
 
@@ -31,9 +41,19 @@ let cell t a =
   if a < 0 || a >= t.n then invalid_arg "Memory: address out of range";
   t.cells.(a)
 
-(* The common case is an empty link set; avoid the List.mem call there. *)
 let link_valid c pid =
-  match c.links with [] -> false | links -> List.mem pid links
+  if pid < 62 then c.links land (1 lsl pid) <> 0
+  else match c.links_hi with [] -> false | links -> List.mem pid links
+
+let clear_links c =
+  c.links <- 0;
+  (* Guard the write: links_hi is almost always already [] and skipping the
+     store avoids a caml_modify on the hot path. *)
+  match c.links_hi with [] -> () | _ -> c.links_hi <- []
+
+let register_link c pid =
+  if pid < 62 then c.links <- c.links lor (1 lsl pid)
+  else if not (List.mem pid c.links_hi) then c.links_hi <- pid :: c.links_hi
 
 let apply t ~pid a p =
   let c = cell t a in
@@ -41,10 +61,8 @@ let apply t ~pid a p =
   let v', resp, invalidates = Primitive.apply p ~current:c.v ~link_valid in
   let changed = not (Value.equal c.v v') in
   c.v <- v';
-  if invalidates then c.links <- [];
-  (match p with
-  | Primitive.Ll -> if not link_valid then c.links <- pid :: c.links
-  | _ -> ());
+  if invalidates then clear_links c;
+  (match p with Primitive.Ll -> register_link c pid | _ -> ());
   (resp, changed)
 
 (* Hot path for machines whose trace sink is off: identical state
@@ -55,11 +73,63 @@ let apply_fast t ~pid a p =
   let link_valid = link_valid c pid in
   let v', resp, invalidates = Primitive.apply p ~current:c.v ~link_valid in
   c.v <- v';
-  if invalidates then c.links <- [];
-  (match p with
-  | Primitive.Ll -> if not link_valid then c.links <- pid :: c.links
-  | _ -> ());
+  if invalidates then clear_links c;
+  (match p with Primitive.Ll -> register_link c pid | _ -> ());
   resp
+
+(* Forget every cell at address [n] or above, returning the address space
+   to an earlier [size]. Used by [Machine.reset] so that programs which
+   allocate during execution (e.g. OSTM's per-transaction descriptors)
+   re-allocate at the same addresses on every pooled re-run. *)
+let truncate t n =
+  if n < 0 || n > t.n then invalid_arg "Memory.truncate";
+  if n < t.n then begin
+    for a = n to t.n - 1 do
+      t.cells.(a) <- dummy
+    done;
+    t.n <- n
+  end
+
+let reset t =
+  for a = 0 to t.n - 1 do
+    let c = t.cells.(a) in
+    c.v <- c.init;
+    c.links <- 0;
+    match c.links_hi with [] -> () | _ -> c.links_hi <- []
+  done
+
+(* Snapshots copy cell values (immutable, so by pointer) and the pid < 62
+   link bitmasks into caller-held growable buffers. [links_hi] is NOT
+   captured: snapshots exist for the explorer, which caps nprocs at 62.
+   [restore_from] clears any stray links_hi defensively. *)
+type snapshot = {
+  mutable s_vals : Value.t array;
+  mutable s_links : int array;
+  mutable s_n : int;
+}
+
+let snapshot_make () = { s_vals = [||]; s_links = [||]; s_n = 0 }
+
+let snapshot_into t s =
+  if Array.length s.s_vals < t.n then begin
+    s.s_vals <- Array.make (max 16 t.n) Value.Unit;
+    s.s_links <- Array.make (max 16 t.n) 0
+  end;
+  for a = 0 to t.n - 1 do
+    let c = t.cells.(a) in
+    Array.unsafe_set s.s_vals a c.v;
+    Array.unsafe_set s.s_links a c.links
+  done;
+  s.s_n <- t.n
+
+let restore_from t s =
+  if s.s_n <> t.n then invalid_arg "Memory.restore_from: size mismatch";
+  for a = 0 to t.n - 1 do
+    let c = t.cells.(a) in
+    c.v <- Array.unsafe_get s.s_vals a;
+    c.links <- Array.unsafe_get s.s_links a;
+    match c.links_hi with [] -> () | _ -> c.links_hi <- []
+  done
 
 let peek t a = (cell t a).v
 let poke t a v = (cell t a).v <- v

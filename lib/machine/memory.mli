@@ -26,6 +26,36 @@ val apply_fast : t -> pid:int -> addr -> Primitive.t -> Value.t
     the [changed] comparison — for hot paths that do not record a trace
     entry (machines with the {!Trace.Off} sink). *)
 
+val reset : t -> unit
+(** Restore every cell to its [alloc]-time initial value and clear all
+    load-links, in place. Allocated addresses remain valid. Values written
+    with {!poke} are not sticky: [reset] returns to the original [alloc]
+    values. *)
+
+val truncate : t -> int -> unit
+(** [truncate t n] forgets every cell at address [n] or above, shrinking the
+    store back to an earlier {!size}. Subsequent {!alloc}s reuse the freed
+    addresses. Used by machine reset so that programs which allocate during
+    execution re-allocate at identical addresses on every re-run.
+    @raise Invalid_argument if [n] is negative or exceeds the current size. *)
+
+type snapshot
+(** A reusable copy of the store's mutable state: cell values (immutable,
+    captured by pointer) and the pid [< 62] load-link bitmasks. Load-links
+    of pids [>= 62] are not captured — snapshots serve the explorer, which
+    enforces [nprocs <= 62]. *)
+
+val snapshot_make : unit -> snapshot
+(** An empty snapshot buffer; grows on first use and is reusable. *)
+
+val snapshot_into : t -> snapshot -> unit
+(** Overwrite [snapshot] with the store's current state. *)
+
+val restore_from : t -> snapshot -> unit
+(** Restore the store's state from a snapshot previously taken (via
+    {!snapshot_into}) of a store with the same number of cells.
+    @raise Invalid_argument on a cell-count mismatch. *)
+
 val peek : t -> addr -> Value.t
 (** Observe a cell without producing an event (for tests and invariants). *)
 

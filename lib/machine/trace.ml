@@ -75,6 +75,13 @@ let add_note t ~pid note =
   | Off -> tick t
   | _ -> push t (Note { seq = t.total; pid; note })
 
+(* Return to the post-create state in place, keeping [buf] allocated so a
+   pooled machine's next run reuses the storage. *)
+let clear t =
+  t.start <- 0;
+  t.stored <- 0;
+  t.total <- 0
+
 let length t = t.total
 let stored t = t.stored
 let first_seq t = t.total - t.stored

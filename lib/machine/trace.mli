@@ -55,6 +55,10 @@ val tick : t -> unit
 val add_mem : t -> pid:int -> addr:int -> Primitive.t -> Value.t -> bool -> unit
 val add_note : t -> pid:int -> note -> unit
 
+val clear : t -> unit
+(** Return to the freshly-created state — seq counter back to 0, nothing
+    stored — keeping the underlying buffer allocated for reuse. *)
+
 val length : t -> int
 (** Total entries recorded since creation (the seq counter), whether or not
     the sink retained them. *)

@@ -27,7 +27,11 @@ module Make (T : Ptm_core.Tm_intf.S) = struct
     done_ : Memory.addr array array;  (* done_.(p).(face), owned by p *)
     succ : Memory.addr array array;  (* succ.(p).(face), owned by p *)
     lock : Memory.addr array array;  (* lock.(p).(q), owned by p *)
-    face : int array;  (* process-local alternating identity *)
+    mem : Memory.t;
+    face : Memory.addr array;
+        (* process-local alternating identity; a machine cell accessed with
+           peek/poke (no events), so it is restored together with the rest
+           of the machine when the explorer resets a pooled machine *)
   }
 
   (* X stores 0 for the initial (bottom) value and 1 + 2*pid + face for an
@@ -53,8 +57,15 @@ module Make (T : Ptm_core.Tm_intf.S) = struct
                 Machine.alloc machine ~owner:p
                   ~name:(Printf.sprintf "lm.lock[%d][%d]" p q)
                   (Value.Bool false)));
-      face = Array.make nprocs 0;
+      mem = Machine.memory machine;
+      face =
+        Array.init nprocs (fun p ->
+            Machine.alloc machine ~owner:p
+              ~name:(Printf.sprintf "lm.face[%d]" p)
+              (Value.Int 0));
     }
+
+  let get_face t ~pid = Value.to_int (Memory.peek t.mem t.face.(pid))
 
   (* Atomically read X and replace it with our identity; None on abort. *)
   let func t ~pid ~face =
@@ -70,8 +81,8 @@ module Make (T : Ptm_core.Tm_intf.S) = struct
             | Error `Abort -> None))
 
   let enter t ~pid =
-    let face = 1 - t.face.(pid) in
-    t.face.(pid) <- face;
+    let face = 1 - get_face t ~pid in
+    Memory.poke t.mem t.face.(pid) (Value.Int face);
     Proc.write t.done_.(pid).(face) (Value.Bool false);
     Proc.write t.succ.(pid).(face) (Value.Pid (-1));
     let rec swap () =
@@ -89,7 +100,7 @@ module Make (T : Ptm_core.Tm_intf.S) = struct
     end
 
   let exit_cs t ~pid =
-    let face = t.face.(pid) in
+    let face = get_face t ~pid in
     Proc.write t.done_.(pid).(face) (Value.Bool true);
     let s = Value.to_pid (Proc.read t.succ.(pid).(face)) in
     if s >= 0 then Proc.write t.lock.(s).(pid) (Value.Bool false)

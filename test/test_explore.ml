@@ -12,16 +12,22 @@ let mk_mutex (module L : Mutex_intf.S) ?(nprocs = 2) ?(trace = Trace.Full) () =
   let m = Machine.create ~trace ~nprocs () in
   let lock = L.create m ~nprocs in
   let c = Machine.alloc m ~name:"c" (Value.Int 0) in
-  let occupancy = ref 0 in
+  (* The occupancy counter lives in a machine cell updated via peek/poke —
+     no events, so the schedule tree is unchanged, but unlike a captured
+     [ref] it is restored when the explorer resets a pooled machine. *)
+  let occ = Machine.alloc m ~name:"occ" (Value.Int 0) in
+  let mem = Machine.memory m in
+  let occ_read () = Value.to_int (Memory.peek mem occ) in
+  let occ_write o = Memory.poke mem occ (Value.Int o) in
   for pid = 0 to nprocs - 1 do
     Machine.spawn m pid (fun () ->
         L.enter lock ~pid;
-        incr occupancy;
-        assert (!occupancy = 1);
+        occ_write (occ_read () + 1);
+        assert (occ_read () = 1);
         let v = Proc.read_int c in
         Proc.write c (Value.Int (v + 1));
-        assert (!occupancy = 1);
-        decr occupancy;
+        assert (occ_read () = 1);
+        occ_write (occ_read () - 1);
         L.exit_cs lock ~pid)
   done;
   m
@@ -565,6 +571,150 @@ let test_replays_counted () =
   Alcotest.(check bool) "steps include replayed prefixes" true
     (s.Explore.steps > 4096)
 
+(* ------------------------------------------------------------------ *)
+(* Replay machinery: machine pooling, checkpointed suffix replay and   *)
+(* forced-run fusion are pure performance devices — every stat except  *)
+(* the steps/saved split must be bit-identical to the naive baseline.  *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold the fed prefix positions back into [steps]: how the work splits
+   between re-executed and fed positions is the only thing a replay
+   configuration may change. *)
+let scrub_replay s =
+  {
+    s with
+    Explore.steps = s.Explore.steps + s.Explore.replay_steps_saved;
+    replay_steps_saved = 0;
+  }
+
+let replay_configs =
+  [
+    ("pool", true, 0, false);
+    ("fuse", false, 0, true);
+    ("ckpt1", false, 1, false);
+    ("ckpt4", false, 4, false);
+    ("pool+ckpt4+fuse", true, 4, true);
+    ("pool+ckpt16+fuse", true, 16, true);
+  ]
+
+let test_replay_differential () =
+  List.iter
+    (fun ((module L : Mutex_intf.S), mode, max_steps) ->
+      List.iter
+        (fun trace ->
+          let run ~pool ~stride ~fuse =
+            Explore.run
+              ~mk:(mk_mutex (module L) ~trace)
+              ~max_steps ~mode ~pool ~checkpoint_stride:stride ~fuse ()
+          in
+          let base = run ~pool:false ~stride:0 ~fuse:false in
+          Alcotest.(check int) "baseline feeds nothing" 0
+            base.Explore.replay_steps_saved;
+          List.iter
+            (fun (label, pool, stride, fuse) ->
+              let s = run ~pool ~stride ~fuse in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s %s" L.name label)
+                true
+                (scrub_replay s = scrub_replay base))
+            replay_configs)
+        [ Trace.Full; Trace.Off ])
+    [
+      ((module Tas : Mutex_intf.S), Explore.Naive, 16);
+      ((module Tas : Mutex_intf.S), Explore.Dpor, 24);
+      ((module Ticket : Mutex_intf.S), Explore.Dpor, 24);
+    ]
+
+let test_replay_defaults_pinned () =
+  (* The default settings (pool on, stride 4, fusion on) reproduce the
+     no-pool no-checkpoint no-fusion exploration on every stat except the
+     steps/saved split. *)
+  List.iter
+    (fun mode ->
+      let dflt = Explore.run ~mk:(mk_mutex (module Tas)) ~max_steps:24 ~mode () in
+      let base =
+        Explore.run
+          ~mk:(mk_mutex (module Tas))
+          ~max_steps:24 ~mode ~pool:false ~checkpoint_stride:0 ~fuse:false ()
+      in
+      Alcotest.(check bool) "defaults match baseline" true
+        (scrub_replay dflt = scrub_replay base);
+      Alcotest.(check int) "steps + saved is invariant" base.Explore.steps
+        (dflt.Explore.steps + dflt.Explore.replay_steps_saved))
+    [ Explore.Naive; Explore.Dpor ]
+
+let test_checkpoint_savings () =
+  (* At stride <= 4 the fed prefixes must cover more than half of the
+     replay tax: saved > 50% of the steps the baseline spends on replayed
+     prefixes (= all steps beyond one depth-bounded first descent). *)
+  (* With stride 1 a checkpoint sits at every depth, so every replayed
+     prefix is fed in full: its [replay_steps_saved] IS the baseline's
+     total replay tax. *)
+  let s1 =
+    Explore.run ~mk:(mk_mutex (module Tas)) ~max_steps:16 ~checkpoint_stride:1 ()
+  in
+  let replay_tax = s1.Explore.replay_steps_saved in
+  Alcotest.(check bool) "the tax is real" true (replay_tax > 0);
+  let s4 =
+    Explore.run ~mk:(mk_mutex (module Tas)) ~max_steps:16 ~checkpoint_stride:4 ()
+  in
+  Alcotest.(check bool) "stride 4 saves > 50% of the replay tax" true
+    (2 * s4.Explore.replay_steps_saved > replay_tax)
+
+let prop_replay_configs_agree =
+  let open QCheck2 in
+  let gen =
+    Gen.(
+      pair
+        (list_size (2 -- 3) (list_size (1 -- 2) (int_bound 1)))
+        (int_bound (List.length replay_configs - 1)))
+  in
+  let print (progs, ci) =
+    let label, _, _, _ = List.nth replay_configs ci in
+    label ^ ": "
+    ^ String.concat " | "
+        (List.map
+           (fun p -> String.concat ";" (List.map string_of_int p))
+           progs)
+  in
+  Test.make ~count:25
+    ~name:"pooling/checkpointing/fusion do not change exploration" ~print gen
+    (fun (progs, ci) ->
+      let _, pool, stride, fuse = List.nth replay_configs ci in
+      let nprocs = List.length progs in
+      let mk () =
+        let m = Machine.create ~nprocs () in
+        let cells =
+          [|
+            Machine.alloc m ~name:"a" (Value.Int 0);
+            Machine.alloc m ~name:"b" (Value.Int 0);
+          |]
+        in
+        List.iteri
+          (fun pid prog ->
+            Machine.spawn m pid (fun () ->
+                List.iter
+                  (fun obj ->
+                    let c = cells.(obj) in
+                    let v = Proc.read_int c in
+                    Proc.write c (Value.Int (v + 1)))
+                  prog))
+          progs;
+        m
+      in
+      List.for_all
+        (fun mode ->
+          let base =
+            Explore.run ~mk ~max_steps:14 ~max_paths:30_000 ~mode ~pool:false
+              ~checkpoint_stride:0 ~fuse:false ()
+          in
+          let s =
+            Explore.run ~mk ~max_steps:14 ~max_paths:30_000 ~mode ~pool
+              ~checkpoint_stride:stride ~fuse ()
+          in
+          scrub_replay s = scrub_replay base)
+        [ Explore.Naive; Explore.Dpor ])
+
 let test_progress_callback () =
   let calls = ref 0 in
   let last = ref 0 in
@@ -595,7 +745,9 @@ let test_domains_naive_partition () =
   in
   (* replays/steps are bookkeeping of the traversal itself, and the
      frontier split legitimately replays more prefixes than one DFS *)
-  let scrub s = { s with Explore.replays = 0; steps = 0 } in
+  let scrub s =
+    { s with Explore.replays = 0; steps = 0; replay_steps_saved = 0 }
+  in
   Alcotest.(check bool) "two domains visit the same stats" true
     (scrub s1 = scrub s2)
 
@@ -772,6 +924,16 @@ let () =
           Alcotest.test_case "more than 62 procs rejected" `Quick
             test_max_procs_rejected;
           Alcotest.test_case "replays counted" `Quick test_replays_counted;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "pool/ckpt/fusion differential" `Quick
+            test_replay_differential;
+          Alcotest.test_case "defaults match baseline" `Quick
+            test_replay_defaults_pinned;
+          Alcotest.test_case "checkpoints cover >50% of the tax" `Quick
+            test_checkpoint_savings;
+          QCheck_alcotest.to_alcotest prop_replay_configs_agree;
         ] );
       ( "parallel",
         [

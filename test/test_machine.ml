@@ -400,6 +400,143 @@ let test_machine_determinism () =
   Alcotest.(check bool) "in range" true (r >= 1 && r <= 20)
 
 (* ------------------------------------------------------------------ *)
+(* Reset, restart, snapshots, feed: the machinery behind the          *)
+(* explorer's machine pool and checkpointed replay.                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_memory_reset_truncate () =
+  let mem = Memory.create () in
+  let a = Memory.alloc mem ~name:"a" (Value.Int 1) in
+  let b = Memory.alloc mem ~name:"b" (Value.Bool false) in
+  ignore (Memory.apply mem ~pid:0 a (Primitive.Write (Value.Int 9)));
+  ignore (Memory.apply mem ~pid:0 b Primitive.Ll);
+  Memory.reset mem;
+  Alcotest.check value "value restored" (Value.Int 1) (Memory.peek mem a);
+  (* the load-link on b was cleared: its SC must fail *)
+  let resp, _ = Memory.apply mem ~pid:0 b (Primitive.Sc (Value.Bool true)) in
+  Alcotest.check value "links cleared" (Value.Bool false) resp;
+  let c = Memory.alloc mem ~name:"c" Value.Unit in
+  Memory.truncate mem 2;
+  Alcotest.(check int) "truncated" 2 (Memory.size mem);
+  let c' = Memory.alloc mem ~name:"c2" Value.Unit in
+  Alcotest.(check int) "addresses reused" c c';
+  Alcotest.check_raises "beyond size"
+    (Invalid_argument "Memory.truncate") (fun () -> Memory.truncate mem 7)
+
+let test_memory_snapshot_restore () =
+  let mem = Memory.create () in
+  let a = Memory.alloc mem ~name:"a" (Value.Int 0) in
+  let b = Memory.alloc mem ~name:"b" (Value.Int 0) in
+  ignore (Memory.apply mem ~pid:1 a Primitive.Ll);
+  ignore (Memory.apply mem ~pid:0 b (Primitive.Write (Value.Int 5)));
+  let s = Memory.snapshot_make () in
+  Memory.snapshot_into mem s;
+  ignore (Memory.apply mem ~pid:0 a (Primitive.Write (Value.Int 7)));
+  ignore (Memory.apply mem ~pid:0 b (Primitive.Write (Value.Int 8)));
+  Memory.restore_from mem s;
+  Alcotest.check value "a restored" (Value.Int 0) (Memory.peek mem a);
+  Alcotest.check value "b restored" (Value.Int 5) (Memory.peek mem b);
+  (* pid 1's load-link on a was captured and restored: its SC succeeds *)
+  let resp, _ = Memory.apply mem ~pid:1 a (Primitive.Sc (Value.Int 3)) in
+  Alcotest.check value "link restored" (Value.Bool true) resp;
+  ignore (Memory.alloc mem ~name:"c" Value.Unit);
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Memory.restore_from: size mismatch") (fun () ->
+      Memory.restore_from mem s)
+
+let mk_counter ?(rounds = 3) nprocs () =
+  let m = Machine.create ~nprocs () in
+  let c = Machine.alloc m ~name:"c" (Value.Int 0) in
+  for pid = 0 to nprocs - 1 do
+    Machine.spawn m pid (fun () ->
+        for _ = 1 to rounds do
+          ignore (Proc.faa c 1)
+        done)
+  done;
+  (m, c)
+
+let test_machine_restart_identical () =
+  let m, c = mk_counter 2 () in
+  Sched.round_robin m;
+  let v1 = Memory.peek (Machine.memory m) c in
+  let entries1 = Trace.entries (Machine.trace m) in
+  let steps1 = Machine.steps_of m 0 in
+  Machine.restart m;
+  Alcotest.(check int) "steps cleared" 0 (Machine.steps_of m 0);
+  Alcotest.(check int) "trace cleared" 0 (Trace.length (Machine.trace m));
+  Alcotest.check value "memory re-initialised" (Value.Int 0)
+    (Memory.peek (Machine.memory m) c);
+  Sched.round_robin m;
+  Machine.check_crashes m;
+  Alcotest.check value "same final value" v1
+    (Memory.peek (Machine.memory m) c);
+  Alcotest.(check bool) "identical trace" true
+    (entries1 = Trace.entries (Machine.trace m));
+  Alcotest.(check int) "same step count" steps1 (Machine.steps_of m 0)
+
+let test_machine_restart_midrun_alloc () =
+  (* A program that allocates during execution (like OSTM's transaction
+     descriptors) must re-allocate at the same addresses on every run. *)
+  let m = Machine.create ~nprocs:1 () in
+  let c = Machine.alloc m ~name:"c" (Value.Int 0) in
+  let got = ref (-1) in
+  Machine.spawn m 0 (fun () ->
+      ignore (Proc.read_int c);
+      let d = Machine.alloc m ~name:"d" (Value.Int 7) in
+      got := d;
+      Proc.write d (Value.Int 8));
+  Sched.round_robin m;
+  let size1 = Memory.size (Machine.memory m) in
+  let d1 = !got in
+  Machine.restart m;
+  Alcotest.(check int) "mid-run cell forgotten" (size1 - 1)
+    (Memory.size (Machine.memory m));
+  Sched.round_robin m;
+  Machine.check_crashes m;
+  Alcotest.(check int) "same size after re-run" size1
+    (Memory.size (Machine.memory m));
+  Alcotest.(check int) "same address" d1 !got
+
+let test_machine_feed () =
+  (* Record one run's responses, then drive a second machine through the
+     same prefix with [feed]: the trace is rebuilt exactly and the
+     continuations advance, without touching memory. *)
+  let m1, c = mk_counter 2 () in
+  let scheds = [ 0; 1; 0; 1; 0; 1 ] in
+  let log =
+    List.map
+      (fun pid ->
+        ignore (Machine.step m1 pid);
+        (pid, Machine.last_resp m1, Machine.last_changed m1))
+      scheds
+  in
+  let m2, c2 = mk_counter 2 () in
+  List.iter (fun (pid, resp, changed) -> Machine.feed m2 pid resp ~changed) log;
+  Alcotest.(check bool) "identical trace" true
+    (Trace.entries (Machine.trace m1) = Trace.entries (Machine.trace m2));
+  Alcotest.(check int) "steps counted" (Machine.steps_of m1 0)
+    (Machine.steps_of m2 0);
+  Alcotest.check value "memory untouched" (Value.Int 0)
+    (Memory.peek (Machine.memory m2) c2);
+  ignore c
+
+let test_machine_run_while_forced () =
+  let m, c = mk_counter ~rounds:5 1 () in
+  let n = ref 0 in
+  let consumed =
+    Machine.run_while_forced m 0 ~max:3 ~on_step:(fun () -> incr n)
+  in
+  Alcotest.(check int) "max respected" 3 consumed;
+  Alcotest.(check int) "on_step per step" 3 !n;
+  let rest =
+    Machine.run_while_forced m 0 ~max:100 ~on_step:(fun () -> incr n)
+  in
+  Alcotest.(check int) "runs to completion" 2 rest;
+  Alcotest.(check bool) "done" true (Machine.all_done m);
+  Alcotest.check value "all increments applied" (Value.Int 5)
+    (Memory.peek (Machine.memory m) c)
+
+(* ------------------------------------------------------------------ *)
 (* RMR accounting                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -568,6 +705,18 @@ let () =
           Alcotest.test_case "notes are free" `Quick test_machine_notes_are_free;
           Alcotest.test_case "double spawn" `Quick test_machine_double_spawn;
           Alcotest.test_case "determinism" `Quick test_machine_determinism;
+          Alcotest.test_case "memory reset + truncate" `Quick
+            test_memory_reset_truncate;
+          Alcotest.test_case "memory snapshot/restore" `Quick
+            test_memory_snapshot_restore;
+          Alcotest.test_case "restart is identical" `Quick
+            test_machine_restart_identical;
+          Alcotest.test_case "restart with mid-run alloc" `Quick
+            test_machine_restart_midrun_alloc;
+          Alcotest.test_case "feed rebuilds a prefix" `Quick
+            test_machine_feed;
+          Alcotest.test_case "run while forced" `Quick
+            test_machine_run_while_forced;
         ] );
       ( "rmr",
         [
