@@ -315,8 +315,32 @@ let explore_cmd =
              replays feed the checkpointed prefix from the response log and \
              re-execute only the suffix (0: off, default 4).")
   in
+  let crashes_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "crashes" ] ~docv:"K"
+          ~doc:
+            "Per-path crash budget: at every branching node with budget \
+             left, add one crash-stop branch per live process (default 0: \
+             no fault branches, bit-identical to the fault-free search).")
+  in
+  let stalls_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "stalls" ] ~docv:"K"
+          ~doc:
+            "Per-path stall budget: add one stall branch per live \
+             not-already-stalled process at each branching node (default 0).")
+  in
+  let stall_steps_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "stall-steps" ] ~docv:"D"
+          ~doc:"Scheduled slots each injected stall parks its process for.")
+  in
   let run (module L : Ptm_mutex.Mutex_intf.S) max_steps nprocs max_paths
-      reduce domains compare progress_every trace pool checkpoint_stride =
+      reduce domains compare progress_every trace pool checkpoint_stride
+      crashes stalls stall_steps =
     let mk () =
       let m = Ptm_machine.Machine.create ~trace ~nprocs () in
       let lock = L.create m ~nprocs in
@@ -357,7 +381,7 @@ let explore_cmd =
     in
     let search mode =
       Ptm_machine.Explore.run ~mk ~max_steps ~max_paths ~mode ~domains ~pool
-        ~checkpoint_stride ~fuse:true ?progress
+        ~checkpoint_stride ~fuse:true ~crashes ~stalls ~stall_steps ?progress
         ~progress_every:(max 1 progress_every)
         ()
     in
@@ -391,7 +415,134 @@ let explore_cmd =
     Term.(
       const run $ lock_arg $ steps_arg $ procs_arg $ paths_arg $ reduce_arg
       $ domains_arg $ compare_arg $ progress_arg $ trace_arg $ pool_arg
-      $ stride_arg)
+      $ stride_arg $ crashes_arg $ stalls_arg $ stall_steps_arg)
+
+(* ---------------- run (faults) ---------------- *)
+
+let fault_conv =
+  let parse s =
+    match Ptm_machine.Fault.parse s with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Ptm_machine.Fault.pp)
+
+let run_cmd =
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let nprocs_arg =
+    Arg.(value & opt int 3 & info [ "procs" ] ~docv:"N" ~doc:"Processes.")
+  in
+  let nobjs_arg =
+    Arg.(value & opt int 4 & info [ "objs" ] ~docv:"K" ~doc:"T-objects.")
+  in
+  let txs_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "txs" ] ~docv:"T" ~doc:"Transactions per process.")
+  in
+  let faults_arg =
+    Arg.(
+      value & opt_all fault_conv []
+      & info [ "faults"; "fault" ] ~docv:"SPEC"
+          ~doc:
+            "Fault to inject (repeatable): $(b,crash:P@K) crash-stops \
+             process P at its K-th scheduled slot, $(b,stall:P@K+D) parks \
+             it for D slots, $(b,abort:P@K) spuriously aborts its K-th \
+             t-operation before the TM sees it.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "retries" ] ~docv:"R"
+          ~doc:"Retries per aborted transaction attempt.")
+  in
+  let backoff_arg =
+    Arg.(
+      value
+      & opt (some (t3 ~sep:',' int int int)) None
+      & info [ "backoff" ] ~docv:"BASE,FACTOR,CAP"
+          ~doc:
+            "Exponential back-off between retries, realized as machine \
+             steps: before retry k wait min(CAP, BASE*FACTOR^k) slots \
+             (default: retry immediately).")
+  in
+  let livelock_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "livelock-window" ] ~docv:"W"
+          ~doc:
+            "Arm the livelock detector: $(docv) consecutive aborts with no \
+             commit anywhere trip it, ending the run and naming the starved \
+             processes (0: off).")
+  in
+  let max_steps_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-steps" ] ~docv:"S"
+          ~doc:
+            "Scheduler step budget; exceeding it reports out-of-steps \
+             instead of failing (crashed lock holders make survivors spin).")
+  in
+  let run tm seed nprocs nobjs txs faults retries backoff livelock_window
+      max_steps =
+    let w =
+      Ptm_core.Workload.random ~seed ~nprocs ~nobjs ~txs_per_proc:txs
+        ~ops_per_tx:3 ()
+    in
+    let policy =
+      match backoff with
+      | None -> Ptm_core.Runner.Immediate
+      | Some (base, factor, cap) ->
+          Ptm_core.Runner.Backoff { base; factor; cap; max_retries = retries }
+    in
+    let o =
+      Ptm_core.Runner.run tm ~retries ~policy ~faults
+        ?livelock_window:(if livelock_window > 0 then Some livelock_window else None)
+        ?max_steps
+        ~schedule:(Ptm_core.Runner.Random_sched seed) w
+    in
+    Fmt.pr "%a@." Ptm_core.History.pp o.Ptm_core.Runner.history;
+    List.iter
+      (fun f -> Fmt.pr "fault: %a@." Ptm_machine.Fault.pp f)
+      faults;
+    Fmt.pr "commits %d, aborted attempts %d (%d injected)@."
+      o.Ptm_core.Runner.commits o.Ptm_core.Runner.aborts
+      (List.length o.Ptm_core.Runner.history.Ptm_core.History.injected);
+    if o.Ptm_core.Runner.out_of_steps then
+      Fmt.pr "out of steps: survivors blocked (crashed peer holds objects?)@.";
+    (match o.Ptm_core.Runner.starved with
+    | [] -> ()
+    | ps ->
+        Fmt.pr "livelock: starved processes %a@."
+          Fmt.(list ~sep:comma int)
+          ps);
+    let verdict =
+      Ptm_core.Checker.strictly_serializable o.Ptm_core.Runner.history
+    in
+    Fmt.pr "strict serializability: %a@." Ptm_core.Checker.pp_verdict verdict;
+    match verdict with
+    | Ptm_core.Checker.Not_serializable _ -> exit 1
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run a random workload under an explicit fault plan \
+          (crash/stall/injected-abort), with optional back-off retries and \
+          livelock detection, then check the surviving history."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "Crash process 0 at its 6th slot, stall process 1:";
+           `Pre
+             "  ptm run --tm tl2 --fault crash:0@6 --fault stall:1@2+8 \
+              --livelock-window 32 --max-steps 20000";
+         ])
+    Term.(
+      const run $ tm_arg $ seed_arg $ nprocs_arg $ nobjs_arg $ txs_arg
+      $ faults_arg $ retries_arg $ backoff_arg $ livelock_arg $ max_steps_arg)
 
 (* ---------------- props ---------------- *)
 
@@ -430,5 +581,5 @@ let () =
        (Cmd.group info
           [
             lemma2_cmd; thm3_cmd; tightness_cmd; rmr_cmd; workload_cmd;
-            trace_cmd; props_cmd; explore_cmd;
+            trace_cmd; props_cmd; explore_cmd; run_cmd;
           ]))

@@ -12,7 +12,16 @@
     by response time, which certifies the common case — and fall back to an
     exact memoized DFS over linear extensions of the real-time order for
     small histories. Live transactions with a pending [tryC] are enumerated
-    both ways (committed or aborted), implementing "some completion of H". *)
+    both ways (committed or aborted), implementing "some completion of H".
+
+    {e Crash-truncated histories} need no special treatment: a transaction
+    cut short by a crash-stop fault ({!Ptm_machine.Fault.Crash}) is simply
+    forever-pending. A live transaction without a pending [tryC] is
+    non-effective — it may always be completed by aborting — and one whose
+    crash struck mid-[tryC] is enumerated both ways like any other live
+    commit attempt. The fault-injection sweeps rely on this: a correct TM's
+    histories must stay opaque and strictly serializable under any crash
+    placement. *)
 
 type verdict =
   | Serializable of int list

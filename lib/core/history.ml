@@ -7,6 +7,7 @@ type res = RVal of int | ROk | RCommit | RAbort
 type Trace.note +=
   | Tx_inv of { pid : int; tx : int; op : op }
   | Tx_res of { pid : int; tx : int; op : op; res : res }
+  | Tx_injected_abort of { pid : int; tx : int }
 
 let pp_op ppf = function
   | Read x -> Fmt.pf ppf "read(X%d)" x
@@ -23,7 +24,9 @@ let pp_note ppf = function
   | Tx_inv { pid; tx; op } -> Fmt.pf ppf "p%d T%d inv %a" pid tx pp_op op
   | Tx_res { pid; tx; op; res } ->
       Fmt.pf ppf "p%d T%d res %a -> %a" pid tx pp_op op pp_res res
-  | n -> Trace.pp_note_default ppf n
+  | Tx_injected_abort { pid; tx } ->
+      Fmt.pf ppf "p%d T%d abort INJECTED (fault)" pid tx
+  | n -> Ptm_machine.Fault.pp_note ppf n
 
 type status = Committed | Aborted | Live
 
@@ -36,7 +39,7 @@ type txr = {
   status : status;
 }
 
-type t = { txns : txr list; nobjs : int }
+type t = { txns : txr list; nobjs : int; injected : int list }
 
 (* Mutable accumulator used while scanning the trace. *)
 type acc = {
@@ -50,6 +53,7 @@ type acc = {
 let of_entries entries =
   let table : (int, acc) Hashtbl.t = Hashtbl.create 32 in
   let order = ref [] in
+  let injected = ref [] in
   let get ~pid ~tx ~seq =
     match Hashtbl.find_opt table tx with
     | Some a -> a
@@ -80,6 +84,9 @@ let of_entries entries =
               | _ ->
                   invalid_arg
                     "History.of_trace: response without matching invocation")
+          | Tx_injected_abort { tx; _ } ->
+              ignore (get ~pid ~tx ~seq);
+              if not (List.mem tx !injected) then injected := tx :: !injected
           | _ -> ()))
     entries;
   let finish a =
@@ -120,7 +127,7 @@ let of_entries entries =
           m tx.ops)
       0 txns
   in
-  { txns; nobjs }
+  { txns; nobjs; injected = List.rev !injected }
 
 let of_trace trace = of_entries (Trace.entries trace)
 

@@ -20,6 +20,11 @@ type res =
 type Trace.note +=
   | Tx_inv of { pid : int; tx : int; op : op }
   | Tx_res of { pid : int; tx : int; op : op; res : res }
+  | Tx_injected_abort of { pid : int; tx : int }
+        (** the abort recorded by the next [Tx_res … RAbort] of this
+            transaction was injected by a fault, not caused by a conflict —
+            emitted by the runner's fault layer just before the forced
+            abort's response note *)
 
 val pp_op : Format.formatter -> op -> unit
 val pp_res : Format.formatter -> res -> unit
@@ -37,7 +42,14 @@ type txr = {
   status : status;
 }
 
-type t = { txns : txr list; nobjs : int }
+type t = {
+  txns : txr list;
+  nobjs : int;
+  injected : int list;
+      (** ids of transactions whose abort was injected by a fault (in order
+          of injection); the progress checkers exempt these from
+          every-abort-needs-a-conflict obligations *)
+}
 
 val of_trace : Trace.t -> t
 (** Transactions appear in order of their first event. [nobjs] is inferred as

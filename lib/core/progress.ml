@@ -9,12 +9,17 @@ let t_sequential (h : History.t) =
   in
   pairwise h.History.txns
 
+(* A fault-injected abort never counts against a progress property: the TM
+   was told to abort, so the abort needs no conflict to justify it. *)
+let injected (h : History.t) tx = List.mem tx.History.id h.History.injected
+
 let check_sequential (h : History.t) =
   if not (t_sequential h) then Ok ()
   else
     match
       List.find_opt
-        (fun tx -> tx.History.status = History.Aborted)
+        (fun tx ->
+          tx.History.status = History.Aborted && not (injected h tx))
         h.History.txns
     with
     | None -> Ok ()
@@ -28,6 +33,7 @@ let check_progressive (h : History.t) =
     List.filter
       (fun tx ->
         tx.History.status = History.Aborted
+        && (not (injected h tx))
         && not
              (List.exists
                 (fun u -> History.concurrent tx u && History.conflict tx u)
@@ -92,7 +98,8 @@ let check_strongly_progressive (h : History.t) =
             List.length (cobj h q) <= 1
             && List.for_all
                  (fun tx -> tx.History.status = History.Aborted)
-                 q)
+                 q
+            && not (List.exists (injected h) q))
           (conflict_components h)
       in
       (match bad with

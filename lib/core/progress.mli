@@ -9,7 +9,12 @@
     - {e strong progressiveness}: progressiveness, and in every set
       [Q ∈ CTrans(H)] with [|CObj(Q)| <= 1] some transaction is not aborted.
       The minimal such [Q]s are the connected components of the conflict
-      relation, so checking components suffices. *)
+      relation, so checking components suffices.
+
+    All three checkers exempt fault-injected aborts ([History.injected]):
+    a transaction the fault layer told the TM to abort needs no conflict to
+    justify its abort, and a conflict component wiped out purely by injected
+    aborts is not a strong-progressiveness violation. *)
 
 type report = (unit, string) result
 

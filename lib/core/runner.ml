@@ -6,12 +6,24 @@ module Make (T : Tm_intf.S) = struct
      [ref] would keep counting across explorer machine re-runs, whereas the
      cell is restored with the rest of the machine, so every re-run hands
      out the same ids as a fresh one. *)
-  type ctx = { state : T.t; mem : Memory.t; next_id : Memory.addr }
+  type ctx = {
+    state : T.t;
+    machine : Machine.t;
+    mem : Memory.t;
+    next_id : Memory.addr;
+    opix : Memory.addr array;  (* per-pid t-operation counter *)
+  }
 
   let init machine ~nobjs =
     let state = T.create machine ~nobjs in
     let next_id = Machine.alloc machine ~name:"runner.next_id" (Value.Int 0) in
-    { state; mem = Machine.memory machine; next_id }
+    let opix =
+      Array.init (Machine.nprocs machine) (fun i ->
+          Machine.alloc machine
+            ~name:(Printf.sprintf "runner.opix.p%d" i)
+            (Value.Int 0))
+    in
+    { state; machine; mem = Machine.memory machine; next_id; opix }
 
   let tm_state ctx = ctx.state
 
@@ -26,8 +38,32 @@ module Make (T : Tm_intf.S) = struct
 
   let guard tx = if tx.dead then invalid_arg "Runner: use of dead transaction"
 
+  (* The fault layer's injected aborts are decided here, at the runner
+     boundary, before the TM sees the operation: each t-operation consumes
+     one slot of its pid's op-index counter (a machine cell, so explorer
+     re-runs replay the same indices), and a due [Fault.Abort] turns the
+     operation into an abort response without invoking the TM. The handle is
+     abandoned exactly as after a TM-decided abort; the [Tx_injected_abort]
+     note marks the abort as fault-injected for the progress checkers. *)
+  let fault_abort ctx tx op =
+    let cell = ctx.opix.(tx.pid) in
+    let k = Value.to_int (Memory.peek ctx.mem cell) in
+    Memory.poke ctx.mem cell (Value.Int (k + 1));
+    Machine.abort_due ctx.machine tx.pid ~op_index:k
+    && begin
+         tx.dead <- true;
+         Proc.note (History.Tx_inv { pid = tx.pid; tx = tx.id; op });
+         Proc.note (History.Tx_injected_abort { pid = tx.pid; tx = tx.id });
+         Proc.note
+           (History.Tx_res
+              { pid = tx.pid; tx = tx.id; op; res = History.RAbort });
+         true
+       end
+
   let read ctx tx x =
     guard tx;
+    if fault_abort ctx tx (History.Read x) then Error `Abort
+    else begin
     Proc.note (History.Tx_inv { pid = tx.pid; tx = tx.id; op = History.Read x });
     match T.read ctx.state tx.inner x with
     | Ok v ->
@@ -41,9 +77,12 @@ module Make (T : Tm_intf.S) = struct
           (History.Tx_res
              { pid = tx.pid; tx = tx.id; op = History.Read x; res = History.RAbort });
         Error `Abort
+    end
 
   let write ctx tx x v =
     guard tx;
+    if fault_abort ctx tx (History.Write (x, v)) then Error `Abort
+    else begin
     Proc.note
       (History.Tx_inv { pid = tx.pid; tx = tx.id; op = History.Write (x, v) });
     match T.write ctx.state tx.inner x v with
@@ -68,9 +107,12 @@ module Make (T : Tm_intf.S) = struct
                res = History.RAbort;
              });
         Error `Abort
+    end
 
   let commit ctx tx =
     guard tx;
+    if fault_abort ctx tx History.Try_commit then Error `Abort
+    else begin
     Proc.note (History.Tx_inv { pid = tx.pid; tx = tx.id; op = History.Try_commit });
     match T.try_commit ctx.state tx.inner with
     | Ok () ->
@@ -85,6 +127,7 @@ module Make (T : Tm_intf.S) = struct
           (History.Tx_res
              { pid = tx.pid; tx = tx.id; op = History.Try_commit; res = History.RAbort });
         Error `Abort
+    end
 
   let atomically ctx ~pid ~retries body =
     let rec attempt k =
@@ -99,22 +142,99 @@ module Make (T : Tm_intf.S) = struct
     attempt 0
 end
 
+type retry_policy =
+  | Immediate
+  | Backoff of { base : int; factor : int; cap : int; max_retries : int }
+
+module Livelock = struct
+  type t = {
+    window : int;
+    aborts_by : int array;
+    mutable since_commit : int;
+    mutable starved_at_trip : int list option;
+  }
+
+  let create ?(window = 64) ~nprocs () =
+    if window < 1 then invalid_arg "Livelock.create: window must be >= 1";
+    if nprocs < 1 then invalid_arg "Livelock.create: nprocs must be >= 1";
+    {
+      window;
+      aborts_by = Array.make nprocs 0;
+      since_commit = 0;
+      starved_at_trip = None;
+    }
+
+  let looping d =
+    List.filter
+      (fun p -> d.aborts_by.(p) > 0)
+      (List.init (Array.length d.aborts_by) Fun.id)
+
+  let record_abort d pid =
+    d.aborts_by.(pid) <- d.aborts_by.(pid) + 1;
+    d.since_commit <- d.since_commit + 1;
+    if d.since_commit >= d.window && d.starved_at_trip = None then
+      d.starved_at_trip <- Some (looping d)
+
+  let record_commit d pid =
+    d.aborts_by.(pid) <- 0;
+    d.since_commit <- 0
+
+  let tripped d = d.starved_at_trip <> None
+
+  let starved d =
+    match d.starved_at_trip with Some ps -> ps | None -> looping d
+end
+
 type outcome = {
   machine : Machine.t;
   history : History.t;
   commits : int;
   aborts : int;
+  starved : int list;
+  out_of_steps : bool;
 }
 
 type schedule = Round_robin | Random_sched of int
 
-let run (module T : Tm_intf.S) ?(retries = 0) ?max_steps ~schedule
-    (w : Workload.t) =
+let run (module T : Tm_intf.S) ?(retries = 0) ?(policy = Immediate)
+    ?(faults = []) ?livelock_window ?max_steps ~schedule (w : Workload.t) =
   let module R = Make (T) in
   let nprocs = Array.length w.Workload.procs in
   let machine = Machine.create ~nprocs () in
   let ctx = R.init machine ~nobjs:w.Workload.nobjs in
+  Machine.set_faults machine faults;
+  let backoff =
+    Array.init nprocs (fun i ->
+        Machine.alloc machine
+          ~name:(Printf.sprintf "runner.backoff.p%d" i)
+          (Value.Int 0))
+  in
+  let det =
+    Option.map (fun window -> Livelock.create ~window ~nprocs ()) livelock_window
+  in
+  let max_retries =
+    match policy with
+    | Immediate -> retries
+    | Backoff { max_retries; _ } ->
+        if max_retries < 0 then
+          invalid_arg "Runner.run: max_retries must be >= 0";
+        max_retries
+  in
+  let delay k =
+    match policy with
+    | Immediate -> 0
+    | Backoff { base; factor; cap; _ } ->
+        if base < 0 || factor < 1 || cap < base then
+          invalid_arg "Runner.run: need base >= 0, factor >= 1, cap >= base";
+        let rec go d i =
+          if i <= 0 || d >= cap then min d cap else go (d * factor) (i - 1)
+        in
+        go base k
+  in
   let commits = ref 0 and aborts = ref 0 in
+  let gave_up () =
+    match det with Some d -> Livelock.tripped d | None -> false
+  in
   let exec_tx pid (spec : Workload.tx_spec) =
     let body tx =
       let rec go = function
@@ -136,20 +256,54 @@ let run (module T : Tm_intf.S) ?(retries = 0) ?max_steps ~schedule
         match body tx with Ok () -> R.commit ctx tx | Error `Abort -> Error `Abort
       in
       match result with
-      | Ok () -> incr commits
+      | Ok () ->
+          incr commits;
+          (match det with Some d -> Livelock.record_commit d pid | None -> ())
       | Error `Abort ->
           incr aborts;
-          if k < retries then attempt (k + 1)
+          (match det with Some d -> Livelock.record_abort d pid | None -> ());
+          if k < max_retries && not (gave_up ()) then begin
+            (* Realize the back-off as machine steps: each waited slot is one
+               (trivial) read of this pid's scratch cell, so delays occupy
+               schedule positions and rival transactions can run meanwhile. *)
+            for _ = 1 to delay k do
+              ignore (Proc.read backoff.(pid) : Value.t)
+            done;
+            attempt (k + 1)
+          end
     in
     attempt 0
   in
   Array.iteri
     (fun pid specs ->
-      Machine.spawn machine pid (fun () -> List.iter (exec_tx pid) specs))
+      Machine.spawn machine pid (fun () ->
+          List.iter (fun s -> if not (gave_up ()) then exec_tx pid s) specs))
     w.Workload.procs;
-  (match schedule with
-  | Round_robin -> Sched.round_robin ?max_steps machine
-  | Random_sched seed -> Sched.random ~seed ?max_steps machine);
+  let out_of_steps =
+    match schedule with
+    | Round_robin -> (
+        try
+          Sched.round_robin ?max_steps machine;
+          false
+        with Sched.Out_of_steps -> true)
+    | Random_sched seed -> (
+        try
+          Sched.random ~seed ?max_steps machine;
+          false
+        with Sched.Out_of_steps -> true)
+  in
   Machine.check_crashes machine;
   let history = History.of_trace (Machine.trace machine) in
-  { machine; history; commits = !commits; aborts = !aborts }
+  let starved =
+    match det with
+    | Some d when Livelock.tripped d -> Livelock.starved d
+    | _ -> []
+  in
+  {
+    machine;
+    history;
+    commits = !commits;
+    aborts = !aborts;
+    starved;
+    out_of_steps;
+  }

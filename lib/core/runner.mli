@@ -36,11 +36,52 @@ module Make (T : Tm_intf.S) : sig
       t-objects only through {!read} and {!write} on the given handle. *)
 end
 
+type retry_policy =
+  | Immediate  (** re-issue an aborted attempt on the next scheduled slot *)
+  | Backoff of { base : int; factor : int; cap : int; max_retries : int }
+      (** before retry [k], wait [min cap (base * factor^k)] machine steps
+          (each a trivial read of a per-process scratch cell, so delays
+          occupy schedule positions and rivals run meanwhile) *)
+
+(** Livelock detector: flags abort–retry cycles making no commit progress.
+    Feed it every attempt outcome; it trips once [window] consecutive abort
+    records arrive with no interleaved commit, latching the set of processes
+    that were abort-looping at that moment. Plain mutable state {e outside}
+    the machine — for single live runs ({!run}), not for explorer [mk]
+    closures. *)
+module Livelock : sig
+  type t
+
+  val create : ?window:int -> nprocs:int -> unit -> t
+  (** [window] (default 64) is how many consecutive aborts — across all
+      processes, with no commit in between — count as livelock. *)
+
+  val record_abort : t -> int -> unit
+  (** [record_abort d pid]: one transaction attempt of [pid] aborted. *)
+
+  val record_commit : t -> int -> unit
+  (** [record_commit d pid]: [pid] committed — resets the global
+      no-progress counter and [pid]'s abort streak. *)
+
+  val tripped : t -> bool
+  (** Latched: once tripped, stays tripped. *)
+
+  val starved : t -> int list
+  (** If tripped, the pids with a live abort streak at trip time (sorted);
+      otherwise the pids with a live abort streak now. *)
+end
+
 type outcome = {
   machine : Machine.t;
   history : History.t;
   commits : int;
   aborts : int;  (** number of aborted transaction attempts *)
+  starved : int list;
+      (** pids named by the livelock detector, [[]] unless it tripped (or
+          was not requested) *)
+  out_of_steps : bool;
+      (** the scheduler hit its step budget with runnable processes left —
+          e.g. processes spinning on a base object held by a crashed peer *)
 }
 
 type schedule = Round_robin | Random_sched of int  (** seeded *)
@@ -48,10 +89,32 @@ type schedule = Round_robin | Random_sched of int  (** seeded *)
 val run :
   (module Tm_intf.S) ->
   ?retries:int ->
+  ?policy:retry_policy ->
+  ?faults:Fault.spec list ->
+  ?livelock_window:int ->
   ?max_steps:int ->
   schedule:schedule ->
   Workload.t ->
   outcome
 (** Run the workload to quiescence. [retries] (default 0) is how many times an
     aborted transaction attempt is re-issued (each retry is a fresh
-    transaction). Crashes inside TM code are re-raised. *)
+    transaction); it is superseded by [Backoff]'s own [max_retries] when
+    [policy] (default {!Immediate}) is a back-off. Crashes inside TM code are
+    re-raised.
+
+    [faults] (default []) is installed via {!Machine.set_faults}:
+    crash/stall specs fire by scheduled slot; [Fault.Abort] specs abort the
+    pid's [at]-th t-operation at the runner boundary (the TM never sees the
+    operation; the history records {!History.Tx_injected_abort}). An abort
+    injected mid-transaction abandons the TM handle exactly like a crash of
+    that transaction — with eager lock-based TMs, target the first operation
+    of a transaction unless leaking held base objects is the point.
+
+    [livelock_window] (absent by default) arms a {!Livelock} detector over
+    the run: when it trips, in-flight attempts stop retrying, remaining
+    transactions are skipped, and the starved pids are reported in the
+    outcome — turning a livelock into a terminating run.
+
+    Running out of scheduler budget is reported as [out_of_steps = true]
+    instead of raising {!Sched.Out_of_steps} (expected under crash faults
+    when survivors spin on objects the crashed process holds). *)

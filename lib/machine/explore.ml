@@ -8,14 +8,18 @@ type stats = {
   replays : int;
   steps : int;
   replay_steps_saved : int;
+  fault_branches : int;
 }
 
 type mode = Naive | Dpor
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "paths=%d cut=%d pruned=%d violations=%d replays=%d steps=%d saved=%d%s%s"
+    "paths=%d cut=%d pruned=%d violations=%d replays=%d steps=%d saved=%d%s%s%s"
     s.paths s.cut s.pruned s.violations s.replays s.steps s.replay_steps_saved
+    (if s.fault_branches > 0 then
+       Printf.sprintf " faults=%d" s.fault_branches
+     else "")
     (match s.first_violation with
     | None -> ""
     | Some w ->
@@ -55,6 +59,24 @@ exception Budget
 (* ------------------------------------------------------------------ *)
 
 let pause_pend = -1
+
+(* ------------------------------------------------------------------ *)
+(* Schedule actions.                                                   *)
+(*                                                                     *)
+(* With fault budgets off, every schedule position is a bare pid        *)
+(* (tag 0) and the encoding is the identity — budget-0 searches are     *)
+(* bit-identical to searches without the fault layer. A fault budget    *)
+(* turns fault placements into extra branch points whose schedule       *)
+(* positions carry a tag: [pid lor (tag lsl 6)] (pids fit 6 bits,       *)
+(* [max_procs] = 62). Fault actions consume a schedule position (and    *)
+(* count against [max_steps], keeping depth == position) but execute    *)
+(* no memory event.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let act_crash pid = pid lor (1 lsl 6)
+let act_stall pid = pid lor (2 lsl 6)
+let act_pid a = a land 63
+let act_tag a = a lsr 6
 
 let dependent p ep q eq =
   p = q
@@ -151,6 +173,7 @@ type acc = {
   mutable a_replays : int;
   mutable a_steps : int;
   mutable a_saved : int;
+  mutable a_faults : int;  (* fault branches taken (injections performed) *)
   mutable a_ticks : int;  (* leaves since the last progress callback *)
 }
 
@@ -161,7 +184,10 @@ type ctx = {
   max_paths : int;
   pool : bool;  (* effective: forced off when [mk] pre-steps the machine *)
   stride : int;  (* checkpoint depth stride; 0 = checkpointing off *)
-  fuse : bool;
+  fuse : bool;  (* effective: forced off when fault budgets are on *)
+  crashes : int;  (* crash-injection budget per path *)
+  stalls : int;  (* stall-injection budget per path *)
+  stall_steps : int;  (* slots a stall branch parks its pid for *)
   spent : int Atomic.t;  (* paths + cut counted so far, across all domains *)
   tripped : bool Atomic.t;
   progress : (stats -> unit) option;
@@ -178,6 +204,7 @@ let fresh_acc () =
     a_replays = 0;
     a_steps = 0;
     a_saved = 0;
+    a_faults = 0;
     a_ticks = 0;
   }
 
@@ -192,6 +219,7 @@ let stats_of ctx acc =
     replays = acc.a_replays;
     steps = acc.a_steps;
     replay_steps_saved = acc.a_saved;
+    fault_branches = acc.a_faults;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -352,35 +380,93 @@ let replay ctx acc st sched =
   while st.n_cks > 0 && st.cks.(st.n_cks - 1).c_depth > sched.s_n do
     st.n_cks <- st.n_cks - 1
   done;
+  (* Fault actions in the prefix are re-injected rather than fed or
+     stepped: they touch no memory (so they commute with the snapshot
+     restore) and re-emit their trace note, keeping seq numbers aligned. *)
+  let inject m a =
+    match act_tag a with
+    | 1 -> Machine.inject_crash m (act_pid a)
+    | _ -> Machine.inject_stall m (act_pid a) ~steps:ctx.stall_steps
+  in
   let fed =
     if st.n_cks > 0 then begin
       let c = st.cks.(st.n_cks - 1) in
       for i = 0 to c.c_depth - 1 do
-        Machine.feed m sched.s_a.(i) sched.s_resp.(i)
-          ~changed:(Bytes.get sched.s_changed i <> '\000')
+        let a = sched.s_a.(i) in
+        if act_tag a = 0 then begin
+          Machine.feed m a sched.s_resp.(i)
+            ~changed:(Bytes.get sched.s_changed i <> '\000');
+          (* only fed machine steps count as saved: fault positions cost
+             nothing either way, keeping [steps + saved] stride-invariant *)
+          acc.a_saved <- acc.a_saved + 1
+        end
+        else inject m a
       done;
       Memory.restore_from (Machine.memory m) c.c_snap;
-      acc.a_saved <- acc.a_saved + c.c_depth;
       c.c_depth
     end
     else 0
   in
   if ctx.stride > 0 then
     for i = fed to sched.s_n - 1 do
-      acc.a_steps <- acc.a_steps + 1;
-      ignore (Machine.unsafe_step m sched.s_a.(i) : Machine.step_result);
-      (* (Re)log the position: frontier-task prefixes arrive without logs. *)
-      sched.s_resp.(i) <- Machine.last_resp m;
-      Bytes.set sched.s_changed i
-        (if Machine.last_changed m then '\001' else '\000');
+      let a = sched.s_a.(i) in
+      if act_tag a = 0 then begin
+        acc.a_steps <- acc.a_steps + 1;
+        ignore (Machine.unsafe_step m a : Machine.step_result);
+        (* (Re)log the position: frontier-task prefixes arrive without
+           logs. Fault positions need no log — they are re-injected. *)
+        sched.s_resp.(i) <- Machine.last_resp m;
+        Bytes.set sched.s_changed i
+          (if Machine.last_changed m then '\001' else '\000')
+      end
+      else inject m a;
       maybe_ckpt ctx st m (i + 1)
     done
   else
     for i = fed to sched.s_n - 1 do
-      acc.a_steps <- acc.a_steps + 1;
-      ignore (Machine.unsafe_step m sched.s_a.(i) : Machine.step_result)
+      let a = sched.s_a.(i) in
+      if act_tag a = 0 then begin
+        acc.a_steps <- acc.a_steps + 1;
+        ignore (Machine.unsafe_step m a : Machine.step_result)
+      end
+      else inject m a
     done;
   m
+
+(* Enumerate the fault branches at the current node: one crash branch per
+   live pid while the crash budget lasts, one stall branch per live
+   not-already-stalled pid while the stall budget lasts. Each branch
+   replays the prefix on its own machine, performs the injection (a
+   schedule position that executes no memory event) and explores the
+   subtree via [go] with the budget decremented. Skipped entirely at
+   budget 0, which keeps budget-0 searches bit-identical to the fault-free
+   explorer. [m] is the (unconsumed) machine parked at this node, used
+   only to probe stall state. *)
+let fault_branches ctx acc st m sched ~live ~cr ~sl
+    ~(go : Machine.t -> cr:int -> sl:int -> unit) =
+  let n = Machine.nprocs m in
+  if cr > 0 then
+    for q = 0 to n - 1 do
+      if live land (1 lsl q) <> 0 then begin
+        let m' = replay ctx acc st sched in
+        Machine.inject_crash m' q;
+        acc.a_faults <- acc.a_faults + 1;
+        sched_push sched m' (act_crash q);
+        go m' ~cr:(cr - 1) ~sl;
+        sched_pop sched
+      end
+    done;
+  if sl > 0 then
+    for q = 0 to n - 1 do
+      if live land (1 lsl q) <> 0 && not (Machine.stalled m q) then begin
+        let m' = replay ctx acc st sched in
+        Machine.inject_stall m' q ~steps:ctx.stall_steps;
+        acc.a_faults <- acc.a_faults + 1;
+        sched_push sched m' (act_stall q);
+        go m' ~cr ~sl:(sl - 1);
+        sched_pop sched
+      end
+    done
 
 (* ------------------------------------------------------------------ *)
 (* Naive exhaustive DFS (the reference the reduction is validated      *)
@@ -396,7 +482,7 @@ let replay ctx acc st sched =
 (* step; no node below can branch, so no checkpoints are laid there.   *)
 (* ------------------------------------------------------------------ *)
 
-let rec naive_dfs ctx acc st m sched depth0 =
+let rec naive_dfs ctx acc st m sched depth0 ~cr ~sl =
   let depth = ref depth0 in
   let fused = ref 0 in
   if ctx.fuse && !depth < ctx.max_steps && not (Machine.any_crashed m) then begin
@@ -435,6 +521,10 @@ let rec naive_dfs ctx acc st m sched depth0 =
      end
      else begin
        maybe_ckpt ctx st m !depth;
+       if cr > 0 || sl > 0 then
+         fault_branches ctx acc st m sched ~live ~cr ~sl
+           ~go:(fun m' ~cr ~sl ->
+             naive_dfs ctx acc st m' sched (!depth + 1) ~cr ~sl);
        let n = Machine.nprocs m in
        let head = lowest_bit live in
        for pid = head + 1 to n - 1 do
@@ -442,7 +532,7 @@ let rec naive_dfs ctx acc st m sched depth0 =
            let m' = replay ctx acc st sched in
            step1 acc m' pid;
            sched_push sched m' pid;
-           naive_dfs ctx acc st m' sched (!depth + 1);
+           naive_dfs ctx acc st m' sched (!depth + 1) ~cr ~sl;
            sched_pop sched
          end
        done;
@@ -455,7 +545,7 @@ let rec naive_dfs ctx acc st m sched depth0 =
        done;
        step1 acc m head;
        sched_push sched m head;
-       naive_dfs ctx acc st m sched (!depth + 1);
+       naive_dfs ctx acc st m sched (!depth + 1) ~cr ~sl;
        sched_pop sched
      end
    end);
@@ -525,7 +615,7 @@ let scan_add st stack nprocs q eq =
     end
   end
 
-let rec dpor_dfs ctx acc st stack m sched depth0 sleep0 =
+let rec dpor_dfs ctx acc st stack m sched depth0 sleep0 ~cr ~sl =
   let depth = ref depth0 and sleep = ref sleep0 in
   (* Forced-run fusion: while the only awake process [p] is forced — either
      it is the only runnable one, or its next step is trivial and every
@@ -613,6 +703,23 @@ let rec dpor_dfs ctx acc st stack m sched depth0 sleep0 =
      end
      else begin
        maybe_ckpt ctx st m !depth;
+       (* Fault branches are orthogonal to the reduction: they are added at
+          every branching node while budget lasts, are never slept or
+          backtracked, and their subtrees start with an empty sleep set
+          (the coverage argument behind sleep sets does not extend across
+          an injection). The step branches below are reduced exactly as in
+          the fault-free search. *)
+       if cr > 0 || sl > 0 then begin
+         fault_branches ctx acc st m sched ~live ~cr ~sl
+           ~go:(fun m' ~cr ~sl ->
+             dpor_dfs ctx acc st stack m' sched (!depth + 1) 0 ~cr ~sl);
+         (* The fault subtrees laid checkpoints along their own branches;
+            the in-place step branch below runs without a [replay] (which
+            is what otherwise trims them), so drop them explicitly. *)
+         while st.n_cks > 0 && st.cks.(st.n_cks - 1).c_depth > !depth do
+           st.n_cks <- st.n_cks - 1
+         done
+       end;
        let n = Machine.nprocs m in
        let nd = stack.(!depth) in
        nd.n_enabled <- live;
@@ -674,7 +781,8 @@ let rec dpor_dfs ctx acc st stack m sched depth0 sleep0 =
                sched_push sched m' q;
                if eq >= 0 then
                  ai_push st (eq lsr 1) (ai_pack !depth q (eq land 1));
-               dpor_dfs ctx acc st stack m' sched (!depth + 1) !child_sleep;
+               dpor_dfs ctx acc st stack m' sched (!depth + 1) !child_sleep
+                 ~cr ~sl;
                if eq >= 0 then ai_pop st (eq lsr 1);
                sched_pop sched;
                nd.n_sleep <- nd.n_sleep lor (1 lsl q);
@@ -713,6 +821,7 @@ let empty_stats =
     replays = 0;
     steps = 0;
     replay_steps_saved = 0;
+    fault_branches = 0;
   }
 
 let merge_stats s r =
@@ -729,13 +838,23 @@ let merge_stats s r =
     replays = s.replays + r.replays;
     steps = s.steps + r.steps;
     replay_steps_saved = s.replay_steps_saved + r.replay_steps_saved;
+    fault_branches = s.fault_branches + r.fault_branches;
   }
 
 (* A subtree task for the parallel driver: the schedule prefix reaching the
    node, plus (Dpor) the pids asleep on arrival. Sleeping processes are
    unscheduled along the whole prefix, so their poised transitions are
-   recomputed from the replayed machine. *)
+   recomputed from the replayed machine. Fault actions embedded in the
+   prefix carry their budget use with them. *)
 type task = { t_prefix : int array; t_sleep : int }
+
+let prefix_faults prefix =
+  let c = ref 0 and s = ref 0 in
+  Array.iter
+    (fun a ->
+      match act_tag a with 1 -> incr c | 2 -> incr s | _ -> ())
+    prefix;
+  (!c, !s)
 
 (* Expand one frontier node into its children, tallying any leaf it turns
    out to be into [acc]. In Dpor mode every enabled transition becomes a
@@ -777,6 +896,29 @@ let expand_node ctx acc st mode task' =
         Array.blit task'.t_prefix 0 prefix 0 (Array.length task'.t_prefix);
         { t_prefix = prefix; t_sleep = sleep }
       in
+      (* Fault branches become frontier tasks of their own, mirroring the
+         DFS: budget permitting, a crash child per live pid and a stall
+         child per live not-already-stalled pid, each starting with an
+         empty sleep set. *)
+      let used_cr, used_sl = prefix_faults task'.t_prefix in
+      let fault_children = ref [] in
+      (* appending a fault action to a prefix is the frontier analog of the
+         DFS's injection, so it is what counts towards [fault_branches]
+         (the worker's later replays of the prefix re-inject for free) *)
+      if ctx.stalls - used_sl > 0 then
+        for q = n - 1 downto 0 do
+          if live land (1 lsl q) <> 0 && not (Machine.stalled m q) then begin
+            acc.a_faults <- acc.a_faults + 1;
+            fault_children := child (act_stall q) 0 :: !fault_children
+          end
+        done;
+      if ctx.crashes - used_cr > 0 then
+        for q = n - 1 downto 0 do
+          if live land (1 lsl q) <> 0 then begin
+            acc.a_faults <- acc.a_faults + 1;
+            fault_children := child (act_crash q) 0 :: !fault_children
+          end
+        done;
       let children =
         match mode with
         | Naive ->
@@ -817,16 +959,20 @@ let expand_node ctx acc st mode task' =
             List.rev !children
       in
       release ctx st m;
-      children
+      !fault_children @ children
     end
   end
 
 let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
     ?(max_paths = 1_000_000) ?(mode = Naive) ?(domains = 1) ?(pool = true)
-    ?(checkpoint_stride = 4) ?(fuse = true) ?progress
-    ?(progress_every = 10_000) () =
+    ?(checkpoint_stride = 4) ?(fuse = true) ?(crashes = 0) ?(stalls = 0)
+    ?(stall_steps = 3) ?progress ?(progress_every = 10_000) () =
   if checkpoint_stride < 0 then
     invalid_arg "Explore.run: checkpoint_stride must be >= 0";
+  if crashes < 0 || stalls < 0 then
+    invalid_arg "Explore.run: fault budgets must be >= 0";
+  if stall_steps < 1 then
+    invalid_arg "Explore.run: stall_steps must be >= 1";
   let root = mk () in
   let nprocs = Machine.nprocs root in
   if nprocs > max_procs then
@@ -855,17 +1001,22 @@ let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
       max_paths;
       pool = pool && not pre_stepped;
       stride = checkpoint_stride;
-      fuse;
+      (* fault branches can sprout below single-runnable nodes, which the
+         forced-run fusion assumes are branch-free: fuse only at budget 0 *)
+      fuse = fuse && crashes = 0 && stalls = 0;
+      crashes;
+      stalls;
+      stall_steps;
       spent = Atomic.make 0;
       tripped = Atomic.make false;
       progress;
       progress_every;
     }
   in
-  let explore_sub acc st stack m sched depth sleep0 =
+  let explore_sub acc st stack m sched depth sleep0 ~cr ~sl =
     match mode with
-    | Naive -> naive_dfs ctx acc st m sched depth
-    | Dpor -> dpor_dfs ctx acc st stack m sched depth sleep0
+    | Naive -> naive_dfs ctx acc st m sched depth ~cr ~sl
+    | Dpor -> dpor_dfs ctx acc st stack m sched depth sleep0 ~cr ~sl
   in
   if domains <= 1 || max_steps <= 0 || Machine.any_crashed root then begin
     let acc = fresh_acc () in
@@ -873,7 +1024,10 @@ let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
     let stack =
       match mode with Naive -> [||] | Dpor -> stack_make ctx nprocs
     in
-    (try explore_sub acc st stack root (sched_make ~log:(ctx.stride > 0) ()) 0 0
+    (try
+       explore_sub acc st stack root
+         (sched_make ~log:(ctx.stride > 0) ())
+         0 0 ~cr:crashes ~sl:stalls
      with Budget -> ());
     stats_of ctx acc
   end
@@ -929,9 +1083,11 @@ let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
                st.n_cks <- 0;
                ai_clear st;
                sched_reset sched t.t_prefix;
+               let used_cr, used_sl = prefix_faults t.t_prefix in
                let m = replay ctx acc st sched in
                explore_sub acc st stack m sched (Array.length t.t_prefix)
-                 t.t_sleep
+                 t.t_sleep ~cr:(ctx.crashes - used_cr)
+                 ~sl:(ctx.stalls - used_sl)
              with Budget -> ());
             results.(i) <- stats_of ctx acc;
             pull ()

@@ -65,6 +65,9 @@ type stats = {
   replay_steps_saved : int;
       (** replayed prefix steps that were fed from a checkpoint's response
           log instead of re-executed (0 when [checkpoint_stride = 0]) *)
+  fault_branches : int;
+      (** fault injections performed as branch points (0 when the crash and
+          stall budgets are 0) *)
 }
 
 type mode =
@@ -81,6 +84,9 @@ val run :
   ?pool:bool ->
   ?checkpoint_stride:int ->
   ?fuse:bool ->
+  ?crashes:int ->
+  ?stalls:int ->
+  ?stall_steps:int ->
   ?progress:(stats -> unit) ->
   ?progress_every:int ->
   unit ->
@@ -125,6 +131,26 @@ val run :
     - [fuse] (default [true]) executes forced runs (a single runnable
       process, or in [Dpor] mode a single awake process whose next step is
       trivial) in a tight loop without a per-step scheduler round-trip.
+      Automatically disabled while fault budgets are on (fault branches can
+      sprout below single-runnable nodes).
+
+    [crashes]/[stalls] (defaults 0) are per-path fault budgets: at every
+    branching node with budget remaining, the search adds one crash branch
+    per live pid ({!Machine.inject_crash}) and one stall branch per live
+    not-already-stalled pid ({!Machine.inject_stall} for [stall_steps]
+    slots, default 3), then explores the subtree with the budget reduced.
+    Fault actions occupy a schedule position (they count against
+    [max_steps]) but execute no memory event; in witness schedules they
+    appear as values [>= 64] — [pid lor (1 lsl 6)] for a crash,
+    [pid lor (2 lsl 6)] for a stall. Injections are counted in
+    [fault_branches]. At budget 0 the search is bit-identical to the
+    fault-free explorer. In {!Dpor} mode the reduction applies to step
+    branches only: fault branches are always explored and their subtrees
+    restart with an empty sleep set (naive mode remains the reference for
+    fault coverage). Note that a crash truncates its path, so a [final]
+    predicate written for complete executions will flag crash-truncated
+    leaves; pair fault budgets with assertion-based (crash) invariants or a
+    fault-aware [final].
 
     [progress] (with [progress_every], default 10_000) is invoked with a
     snapshot of the calling worker's tallies every [progress_every] leaves

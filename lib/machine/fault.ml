@@ -1,0 +1,77 @@
+type kind = Crash | Stall of int | Abort
+
+type spec = { pid : int; at : int; kind : kind }
+
+type Trace.note +=
+  | Crashed of { pid : int }
+  | Stalled of { pid : int; steps : int }
+
+let crash ~pid ~at = { pid; at; kind = Crash }
+
+let stall ~pid ~at ~steps =
+  if steps < 1 then invalid_arg "Fault.stall: steps must be >= 1";
+  { pid; at; kind = Stall steps }
+
+let abort ~pid ~op = { pid; at = op; kind = Abort }
+
+let to_string s =
+  match s.kind with
+  | Crash -> Printf.sprintf "crash:%d@%d" s.pid s.at
+  | Stall d -> Printf.sprintf "stall:%d@%d+%d" s.pid s.at d
+  | Abort -> Printf.sprintf "abort:%d@%d" s.pid s.at
+
+let pp ppf s = Fmt.string ppf (to_string s)
+
+(* "crash:P@K" | "stall:P@K+D" | "abort:P@K" *)
+let parse str =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad fault spec %S (expected crash:P@K, stall:P@K+D or abort:P@K)"
+         str)
+  in
+  let int_of s = match int_of_string_opt s with
+    | Some n when n >= 0 -> Some n
+    | _ -> None
+  in
+  match String.index_opt str ':' with
+  | None -> fail ()
+  | Some i -> (
+      let head = String.sub str 0 i in
+      let rest = String.sub str (i + 1) (String.length str - i - 1) in
+      match String.index_opt rest '@' with
+      | None -> fail ()
+      | Some j -> (
+          let pid_s = String.sub rest 0 j in
+          let tail = String.sub rest (j + 1) (String.length rest - j - 1) in
+          match (head, int_of pid_s) with
+          | "crash", Some pid -> (
+              match int_of tail with
+              | Some at -> Ok (crash ~pid ~at)
+              | None -> fail ())
+          | "abort", Some pid -> (
+              match int_of tail with
+              | Some op -> Ok (abort ~pid ~op)
+              | None -> fail ())
+          | "stall", Some pid -> (
+              match String.index_opt tail '+' with
+              | None -> fail ()
+              | Some k -> (
+                  match
+                    ( int_of (String.sub tail 0 k),
+                      int_of
+                        (String.sub tail (k + 1) (String.length tail - k - 1))
+                    )
+                  with
+                  | Some at, Some steps when steps >= 1 ->
+                      Ok (stall ~pid ~at ~steps)
+                  | _ -> fail ()))
+          | _ -> fail ()))
+
+let parse_exn str =
+  match parse str with Ok s -> s | Error msg -> invalid_arg msg
+
+let pp_note ppf = function
+  | Crashed { pid } -> Fmt.pf ppf "p%d CRASHED (fault)" pid
+  | Stalled { pid; steps } -> Fmt.pf ppf "p%d stalled for %d slots (fault)" pid steps
+  | n -> Trace.pp_note_default ppf n

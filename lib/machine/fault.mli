@@ -1,0 +1,55 @@
+(** Deterministic fault plans for the simulated machine.
+
+    A fault spec names a process, a trigger index and a kind. Faults are a
+    pure function of the schedule: a spec fires when its process is scheduled
+    for the [at]-th time (its [at]-th {e slot} — memory steps, pauses, stall
+    skips and fault triggers all consume one slot of the scheduled process),
+    so the same programs under the same schedule always produce the same
+    execution, faults included. This is what lets the schedule explorer
+    enumerate fault placements, and the pooling/checkpoint replay machinery
+    reproduce them bit-for-bit.
+
+    - {!Crash} is crash-stop: the process halts forever at that slot, keeping
+      whatever it holds (locks stay taken, transactions stay pending). The
+      machine reports it {!Machine.Halted} — {e not} [Crashed], which is
+      reserved for programs that raise.
+    - [Stall d] parks the process for [d] scheduled slots (the trigger slot
+      is the first): each consumes the slot as a no-op, like a pause, and the
+      process resumes afterwards. A stalled process stays runnable — being
+      slow is not being dead.
+    - {!Abort} is consulted by the runner layer, not the machine: the
+      process's [at]-th t-operation is spuriously aborted before reaching the
+      TM (see {!Machine.abort_due}). Machine-level stepping ignores these
+      specs.
+
+    Crash and stall triggers are recorded in the trace as {!Crashed} /
+    {!Stalled} notes. *)
+
+type kind =
+  | Crash  (** crash-stop at slot [at] *)
+  | Stall of int  (** park for that many slots, starting at slot [at] *)
+  | Abort  (** spuriously abort the [at]-th t-operation (runner layer) *)
+
+type spec = { pid : int; at : int; kind : kind }
+
+type Trace.note +=
+  | Crashed of { pid : int }
+  | Stalled of { pid : int; steps : int }
+
+val crash : pid:int -> at:int -> spec
+val stall : pid:int -> at:int -> steps:int -> spec
+(** Raises [Invalid_argument] if [steps < 1]. *)
+
+val abort : pid:int -> op:int -> spec
+
+val parse : string -> (spec, string) result
+(** Parse ["crash:P@K"], ["stall:P@K+D"] or ["abort:P@K"] (the inverse of
+    {!to_string}). *)
+
+val parse_exn : string -> spec
+val to_string : spec -> string
+val pp : Format.formatter -> spec -> unit
+
+val pp_note : Format.formatter -> Trace.note -> unit
+(** Prints {!Crashed}/{!Stalled} notes, deferring to
+    {!Trace.pp_note_default} otherwise. *)

@@ -1,13 +1,26 @@
 type pid = int
 
-type status = Idle | Runnable | Terminated | Crashed of exn
+type status = Idle | Runnable | Terminated | Halted | Crashed of exn
 
 type step_result = [ `Progress | `Paused | `Done ]
+
+let no_plan : Fault.spec array = [||]
+let no_aborts : int array = [||]
 
 type slot = {
   mutable outcome : Proc.outcome option;  (* None = idle *)
   mutable steps : int;
+  mutable scheds : int;  (* scheduled slots consumed (steps + pauses + skips) *)
+  mutable stall_left : int;  (* remaining no-op slots of an active stall *)
+  mutable halted : bool;  (* crash-stopped by a fault; never runs again *)
   mutable prog : (unit -> unit) option;  (* retained for [restart] *)
+  (* Installed fault plan for this pid: Crash/Stall specs sorted by [at]
+     with a cursor, Abort op indices sorted (consulted by the runner via
+     [abort_due]). Like [prog], the plan survives [reset]/[restart]; only
+     the dynamic state (cursor, stall, halt) is cleared. *)
+  mutable plan : Fault.spec array;
+  mutable f_next : int;
+  mutable abort_plan : int array;
 }
 
 type t = {
@@ -33,7 +46,19 @@ let create ?(trace = Trace.Full) ~nprocs () =
   {
     memory = Memory.create ();
     trace = Trace.create ~sink:trace ();
-    procs = Array.init nprocs (fun _ -> { outcome = None; steps = 0; prog = None });
+    procs =
+      Array.init nprocs (fun _ ->
+          {
+            outcome = None;
+            steps = 0;
+            scheds = 0;
+            stall_left = 0;
+            halted = false;
+            prog = None;
+            plan = no_plan;
+            f_next = 0;
+            abort_plan = no_aborts;
+          });
     spawn_seq = Array.make (max 1 nprocs) 0;
     nspawned = 0;
     base_cells = -1;
@@ -78,7 +103,11 @@ let reset t =
   Array.iter
     (fun s ->
       s.outcome <- None;
-      s.steps <- 0)
+      s.steps <- 0;
+      s.scheds <- 0;
+      s.stall_left <- 0;
+      s.halted <- false;
+      s.f_next <- 0)
     t.procs
 
 let restart t =
@@ -91,25 +120,110 @@ let restart t =
     | None -> assert false
   done
 
+(* ------------------------------------------------------------------ *)
+(* Fault plans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let set_faults t specs =
+  let n = Array.length t.procs in
+  List.iter
+    (fun (s : Fault.spec) ->
+      if s.Fault.pid < 0 || s.Fault.pid >= n then
+        invalid_arg "Machine.set_faults: pid out of range";
+      if s.Fault.at < 0 then invalid_arg "Machine.set_faults: negative index";
+      match s.Fault.kind with
+      | Fault.Stall d when d < 1 ->
+          invalid_arg "Machine.set_faults: stall must last >= 1 slot"
+      | _ -> ())
+    specs;
+  Array.iteri
+    (fun pid s ->
+      let mine =
+        List.filter (fun (f : Fault.spec) -> f.Fault.pid = pid) specs
+      in
+      let sched_specs, abort_specs =
+        List.partition
+          (fun (f : Fault.spec) -> f.Fault.kind <> Fault.Abort)
+          mine
+      in
+      let plan = Array.of_list sched_specs in
+      Array.sort
+        (fun (a : Fault.spec) (b : Fault.spec) -> compare a.Fault.at b.Fault.at)
+        plan;
+      for i = 1 to Array.length plan - 1 do
+        if plan.(i).Fault.at = plan.(i - 1).Fault.at then
+          invalid_arg
+            "Machine.set_faults: two crash/stall specs on one pid at the \
+             same slot"
+      done;
+      let aborts =
+        Array.of_list
+          (List.map (fun (f : Fault.spec) -> f.Fault.at) abort_specs)
+      in
+      Array.sort compare aborts;
+      s.plan <- plan;
+      s.f_next <- 0;
+      s.abort_plan <- aborts)
+    t.procs
+
+let abort_due t pid ~op_index =
+  let s = slot t pid in
+  let a = s.abort_plan in
+  let n = Array.length a in
+  let rec mem i = i < n && (a.(i) = op_index || (a.(i) < op_index && mem (i + 1))) in
+  mem 0
+
+(* A Crash/Stall spec is due when the pid's next consumed slot reaches its
+   trigger index ([<=] so that a spec installed or skipped-over late still
+   fires rather than being silently lost). *)
+let plan_due s =
+  s.f_next < Array.length s.plan
+  && (Array.unsafe_get s.plan s.f_next).Fault.at <= s.scheds
+
+let running s =
+  match s.outcome with
+  | Some (Proc.Wants_mem _ | Proc.Wants_pause _) -> not s.halted
+  | _ -> false
+
+let inject_crash t pid =
+  let s = slot t pid in
+  if not (running s) then
+    invalid_arg "Machine.inject_crash: process not runnable";
+  s.halted <- true;
+  Trace.add_note t.trace ~pid (Fault.Crashed { pid })
+
+let inject_stall t pid ~steps =
+  if steps < 1 then invalid_arg "Machine.inject_stall: steps must be >= 1";
+  let s = slot t pid in
+  if not (running s) then
+    invalid_arg "Machine.inject_stall: process not runnable";
+  s.stall_left <- s.stall_left + steps;
+  Trace.add_note t.trace ~pid (Fault.Stalled { pid; steps })
+
+let halted t pid = (slot t pid).halted
+let stalled t pid = (slot t pid).stall_left > 0 && running (slot t pid)
+
 let status t pid =
-  match (slot t pid).outcome with
+  let s = slot t pid in
+  match s.outcome with
   | None -> Idle
   | Some Proc.Done -> Terminated
   | Some (Proc.Failed e) -> Crashed e
-  | Some (Proc.Wants_mem _ | Proc.Wants_pause _) -> Runnable
+  | Some (Proc.Wants_mem _ | Proc.Wants_pause _) ->
+      if s.halted then Halted else Runnable
   | Some (Proc.Wants_note _) -> assert false (* drained eagerly *)
 
 let poised t pid =
-  match (slot t pid).outcome with
-  | Some (Proc.Wants_mem (req, _)) -> Some req
-  | _ -> None
+  let s = slot t pid in
+  if s.halted then None
+  else
+    match s.outcome with
+    | Some (Proc.Wants_mem (req, _)) -> Some req
+    | _ -> None
 
 (* Allocation-free status probes for the schedule explorer's inner loop. *)
 
-let is_runnable t pid =
-  match t.procs.(pid).outcome with
-  | Some (Proc.Wants_mem _ | Proc.Wants_pause _) -> true
-  | _ -> false
+let is_runnable t pid = running t.procs.(pid)
 
 let any_crashed t =
   let n = Array.length t.procs in
@@ -123,19 +237,59 @@ let any_crashed t =
   go 0
 
 (* Packed pending event for the explorer: [(addr lsl 1) lor trivial] for a
-   memory request, [-1] for a pause, [-2] when not runnable. *)
+   memory request, [-1] for a pause, [-2] when not runnable. A slot whose
+   next scheduled turn will be consumed by the fault layer (a stall skip or
+   a due crash/stall trigger) is poised on a pause as far as the explorer is
+   concerned: it will touch no base object. *)
 let packed_pend t pid =
-  match t.procs.(pid).outcome with
-  | Some (Proc.Wants_mem ({ Proc.addr; prim }, _)) ->
-      (addr lsl 1) lor (if Primitive.is_trivial prim then 1 else 0)
-  | Some (Proc.Wants_pause _) -> -1
-  | _ -> -2
+  let s = t.procs.(pid) in
+  if s.halted then -2
+  else
+    match s.outcome with
+    | Some (Proc.Wants_mem ({ Proc.addr; prim }, _)) ->
+        if s.stall_left > 0 || plan_due s then -1
+        else (addr lsl 1) lor (if Primitive.is_trivial prim then 1 else 0)
+    | Some (Proc.Wants_pause _) -> -1
+    | _ -> -2
+
+(* Consume one scheduled slot of a running process with the fault layer:
+   fire a due crash/stall trigger or eat a stall skip. Returns [true] when
+   the slot was consumed here (the program's own continuation is untouched).
+   Shared verbatim by [step_slot] and [feed] so that replaying a logged
+   schedule reproduces fault behaviour bit-for-bit. *)
+let fault_slot t pid s =
+  if plan_due s then begin
+    let spec = Array.unsafe_get s.plan s.f_next in
+    s.f_next <- s.f_next + 1;
+    s.scheds <- s.scheds + 1;
+    (match spec.Fault.kind with
+    | Fault.Crash ->
+        s.halted <- true;
+        Trace.add_note t.trace ~pid (Fault.Crashed { pid })
+    | Fault.Stall d ->
+        (* the trigger slot is the first of the [d] skipped ones *)
+        s.stall_left <- s.stall_left + d - 1;
+        Trace.add_note t.trace ~pid (Fault.Stalled { pid; steps = d })
+    | Fault.Abort -> assert false (* filtered out by [set_faults] *));
+    true
+  end
+  else if s.stall_left > 0 then begin
+    s.stall_left <- s.stall_left - 1;
+    s.scheds <- s.scheds + 1;
+    true
+  end
+  else false
 
 let step_slot t pid (s : slot) : step_result =
   match s.outcome with
   | None | Some Proc.Done | Some (Proc.Failed _) -> `Done
   | Some (Proc.Wants_note _) -> assert false
+  | Some (Proc.Wants_pause _ | Proc.Wants_mem _) when s.halted -> `Done
+  | Some (Proc.Wants_pause _ | Proc.Wants_mem _) when fault_slot t pid s ->
+      (* the slot was consumed without a memory event, like a pause *)
+      `Paused
   | Some (Proc.Wants_pause k) ->
+      s.scheds <- s.scheds + 1;
       s.outcome <- Some (drain t pid (Effect.Deep.continue k ()));
       `Paused
   | Some (Proc.Wants_mem ({ Proc.addr; prim }, k)) ->
@@ -155,6 +309,7 @@ let step_slot t pid (s : slot) : step_result =
       in
       t.last_resp <- resp;
       s.steps <- s.steps + 1;
+      s.scheds <- s.scheds + 1;
       s.outcome <- Some (drain t pid (Effect.Deep.continue k resp));
       `Progress
 
@@ -171,12 +326,20 @@ let last_changed t = t.last_changed
 let feed t pid resp ~changed =
   let s = t.procs.(pid) in
   match s.outcome with
+  | Some (Proc.Wants_pause _ | Proc.Wants_mem _) when s.halted ->
+      invalid_arg "Machine.feed: process is halted"
+  | Some (Proc.Wants_pause _ | Proc.Wants_mem _) when fault_slot t pid s ->
+      (* same gate as [step]: the logged position was a fault slot, which
+         records the same notes and touches no memory *)
+      ()
   | Some (Proc.Wants_pause k) ->
       (* Pauses consume no event and record nothing, exactly like [step]. *)
+      s.scheds <- s.scheds + 1;
       s.outcome <- Some (drain t pid (Effect.Deep.continue k ()))
   | Some (Proc.Wants_mem ({ Proc.addr; prim }, k)) ->
       Trace.add_mem t.trace ~pid ~addr prim resp changed;
       s.steps <- s.steps + 1;
+      s.scheds <- s.scheds + 1;
       s.outcome <- Some (drain t pid (Effect.Deep.continue k resp))
   | _ -> invalid_arg "Machine.feed: process not runnable"
 
@@ -191,16 +354,19 @@ let run_while_forced t pid ~max ~on_step =
         incr n;
         on_step ());
     match s.outcome with
-    | Some (Proc.Wants_mem _ | Proc.Wants_pause _) -> ()
+    | (Some (Proc.Wants_mem _ | Proc.Wants_pause _)) when not s.halted -> ()
     | _ -> continue := false
   done;
   !n
 
 let steps_of t pid = (slot t pid).steps
+let scheds_of t pid = (slot t pid).scheds
 
 let all_done t =
   Array.for_all
     (fun s ->
+      s.halted
+      ||
       match s.outcome with
       | None | Some Proc.Done | Some (Proc.Failed _) -> true
       | _ -> false)

@@ -15,6 +15,7 @@ type status =
   | Idle  (** no program spawned *)
   | Runnable
   | Terminated
+  | Halted  (** crash-stopped by an injected fault; never runs again *)
   | Crashed of exn  (** the program raised; surfaced by {!check_crashes} *)
 
 type step_result = [ `Progress | `Paused | `Done ]
@@ -39,7 +40,10 @@ val spawn : t -> pid -> (unit -> unit) -> unit
 val reset : t -> unit
 (** Return the machine to its post-allocation initial state in place: every
     cell back to its [alloc]-time value, the trace cleared (seq counter
-    included), every process back to [Idle] with a zero step count. Programs
+    included), every process back to [Idle] with a zero step count and its
+    dynamic fault state (halt, stall, plan cursor) cleared — installed fault
+    plans themselves survive, like programs, so a pooled {!restart} replays
+    the same faults. Programs
     remain installed but not started; {!restart} re-runs them, or {!spawn}
     may install replacements. Memory is truncated back to its size at the
     first {!spawn}, so cells allocated by program code (e.g. per-transaction
@@ -59,10 +63,42 @@ val restart : t -> unit
 
 val status : t -> pid -> status
 
+val set_faults : t -> Fault.spec list -> unit
+(** Install a fault plan: each {!Fault.Crash}/[Fault.Stall] spec fires when
+    its pid consumes its [at]-th scheduled slot (see {!scheds_of});
+    {!Fault.Abort} specs are stored for {!abort_due} and ignored by machine
+    stepping. Replaces any previously installed plan. The plan survives
+    {!reset}/{!restart} (only its dynamic state is cleared), so pooled
+    machines replay faults identically. Raises [Invalid_argument] on an
+    out-of-range pid, a negative index, a stall shorter than one slot, or
+    two crash/stall specs of one pid sharing a slot. *)
+
+val inject_crash : t -> pid -> unit
+(** Crash-stop [pid] now: it is {!Halted} from here on — never scheduled
+    again, holding whatever it holds. Records a {!Fault.Crashed} trace note.
+    The schedule explorer uses this to realize enumerated crash branches.
+    Raises [Invalid_argument] if [pid] is not runnable. *)
+
+val inject_stall : t -> pid -> steps:int -> unit
+(** Park [pid] for its next [steps] scheduled slots: each is consumed as a
+    no-op (like a pause, [`Paused]), after which it resumes. The process
+    stays runnable throughout. Stacks with an already-active stall. Records
+    a {!Fault.Stalled} trace note. Raises [Invalid_argument] if [steps < 1]
+    or [pid] is not runnable. *)
+
+val abort_due : t -> pid -> op_index:int -> bool
+(** Whether the installed plan holds [Fault.Abort] for [pid] at t-operation
+    index [op_index]. Consulted by the runner layer before each
+    t-operation; the machine itself never fires these. *)
+
+val halted : t -> pid -> bool
+val stalled : t -> pid -> bool
+(** [pid] is runnable but inside an active stall window. *)
+
 val is_runnable : t -> pid -> bool
 (** [status t pid = Runnable], without allocating (explorer hot path).
-    Unlike {!status}, out-of-range pids are a bounds error, not
-    [Invalid_argument]. *)
+    Halted processes are not runnable. Unlike {!status}, out-of-range pids
+    are a bounds error, not [Invalid_argument]. *)
 
 val any_crashed : t -> bool
 (** Some spawned process crashed (allocation-free probe). *)
@@ -75,9 +111,16 @@ val step : t -> pid -> step_result
 (** Advance [pid]: apply its pending primitive (one event) and run it to its
     next effect. Notes are drained transparently on either side of the event
     and cost nothing. [`Paused] means the program hit {!Proc.pause} before
-    applying an event; the pause is consumed. Stepping a terminated or idle
-    process returns [`Done]. A program that raises is marked [Crashed] and
-    returns [`Done]. *)
+    applying an event; the pause is consumed. Stepping a terminated, idle or
+    halted process returns [`Done]. A program that raises is marked
+    [Crashed] and returns [`Done].
+
+    The fault layer gates every step: if the scheduled slot triggers a due
+    crash/stall spec or falls inside an active stall window, the slot is
+    consumed as a no-op ([`Paused]) without touching the program's
+    continuation or any base object (a crash trigger additionally halts the
+    process). Fault behaviour is therefore a pure function of the
+    schedule. *)
 
 val unsafe_step : t -> pid -> step_result
 (** {!step} without the pid bounds check — for the schedule explorer, whose
@@ -87,7 +130,10 @@ val unsafe_step : t -> pid -> step_result
 val packed_pend : t -> pid -> int
 (** The event [pid] is poised to apply, packed allocation-free:
     [(addr lsl 1) lor trivial] for a memory request ([trivial] per
-    {!Primitive.is_trivial}), [-1] for a pause, [-2] when not runnable. *)
+    {!Primitive.is_trivial}), [-1] for a pause, [-2] when not runnable.
+    A slot whose next scheduled turn the fault layer will consume (stall
+    skip or due crash/stall trigger) reports [-1]: it will touch no base
+    object, so it commutes like a pause. *)
 
 val last_resp : t -> Value.t
 (** Response of the most recent memory step ({!step}, {!unsafe_step} or
@@ -103,10 +149,13 @@ val feed : t -> pid -> Value.t -> changed:bool -> unit
 (** Replay one logged step without touching memory: resume [pid]'s parked
     continuation with the recorded response (for a pause, with [()]),
     recording the trace entry / seq tick and step count exactly as {!step}
-    would have. The caller is responsible for the response being the one
+    would have. Fault slots are gated identically to {!step} — a fed
+    position that was originally consumed by a stall skip or a plan trigger
+    consumes it again, notes included, ignoring the supplied response. The
+    caller is responsible for the response being the one
     this schedule position originally produced, and for restoring memory
     (e.g. {!Memory.restore_from}) before real steps resume.
-    Raises [Invalid_argument] if [pid] is not runnable. *)
+    Raises [Invalid_argument] if [pid] is not runnable or halted. *)
 
 val run_while_forced : t -> pid -> max:int -> on_step:(unit -> unit) -> int
 (** Step [pid] repeatedly — at most [max] times, stopping as soon as it is
@@ -119,8 +168,13 @@ val run_while_forced : t -> pid -> max:int -> on_step:(unit -> unit) -> int
 val steps_of : t -> pid -> int
 (** Number of events (primitive applications) performed by [pid] so far. *)
 
+val scheds_of : t -> pid -> int
+(** Number of scheduled slots [pid] has consumed: memory events, pauses,
+    stall skips and fault triggers all count one. Fault-plan [at] indices
+    refer to this counter. *)
+
 val all_done : t -> bool
-(** All spawned processes have terminated or crashed. *)
+(** All spawned processes have terminated, crashed or halted. *)
 
 val check_crashes : t -> unit
 (** Re-raise the first recorded crash, if any. *)

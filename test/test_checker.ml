@@ -8,7 +8,7 @@ open Ptm_core
 let tx ?(pid = 0) id ~first ~last ~status ops =
   { History.id; pid; ops; first; last; status }
 
-let h txns = { History.txns; nobjs = 8 }
+let h txns = { History.txns; nobjs = 8; injected = [] }
 
 let read x v = (History.Read x, Some (History.RVal v))
 let write x v = (History.Write (x, v), Some History.ROk)
