@@ -534,9 +534,9 @@ let timed_runs min_time run1 =
    DPOR searches, single-domain and frontier-parallel, with the trace sink
    on ([Full]) and off. The verdict and path counts are asserted identical
    across every cell — the sink and the domain count must never change what
-   the search finds. Results are printed as a table and dumped to
-   BENCH_explore.json for the CI perf-smoke artifact. Returns
-   [(config, mode, trace, leaves_per_sec)] per cell for the perf gate. *)
+   the search finds. Results are printed as a table; each cell is returned
+   as [((config, mode, trace, engine), leaves_per_sec)] paired with its
+   BENCH_explore.json line (see [write_explore_json]) for the perf gate. *)
 let e11 ?(quick = false) () =
   hr
     "E11. Explorer throughput: paths/s and steps/s, naive vs DPOR vs \
@@ -586,9 +586,10 @@ let e11 ?(quick = false) () =
                 mname sname s.paths s.cut (per s.paths) (per leaves)
                 (per s.steps);
               cells :=
-                ( (cname, mname, sname, per leaves),
+                ( ((cname, mname, sname, "fibers"), per leaves),
                   Printf.sprintf
-                    "    {\"config\":%S,\"mode\":%S,\"trace\":%S,\"paths\":%d,\
+                    "    {\"config\":%S,\"mode\":%S,\"trace\":%S,\
+                     \"engine\":\"fibers\",\"paths\":%d,\
                      \"cut\":%d,\"pruned\":%d,\"violations\":%d,\"replays\":%d,\
                      \"steps\":%d,\"replay_steps_saved\":%d,\"repeats\":%d,\
                      \"elapsed_s\":%.4f,\
@@ -601,17 +602,12 @@ let e11 ?(quick = false) () =
             sinks)
         modes)
     configs;
-  let oc = open_out "BENCH_explore.json" in
-  output_string oc "{\n  \"experiment\": \"E11\",\n  \"cells\": [\n";
-  output_string oc (String.concat ",\n" (List.rev_map snd !cells));
-  output_string oc "\n  ]\n}\n";
-  close_out oc;
   Fmt.pr
     "@.trace=off machines allocate no trace entries and the explorer keeps@.\
      its schedules, sleep and backtrack sets in flat ints, so the remaining@.\
      per-step cost is the effect-handler fiber switch and the per-replay@.\
-     machine construction. Wrote BENCH_explore.json.@.";
-  List.rev_map fst !cells
+     machine construction.@.";
+  List.rev !cells
 
 (* ------------------------------------------------------------------ *)
 (* E12: the replay tax — pooling, checkpointed replay, step fusion     *)
@@ -776,18 +772,145 @@ let e13 () =
        block lock-based TMs: 'oos').@."
 
 (* ------------------------------------------------------------------ *)
+(* E14: engine ablation — fiber switch vs direct step application      *)
+(* ------------------------------------------------------------------ *)
+
+(* The E11 TM workload in step form, runnable on either backend: [Fibers]
+   interprets the step programs through [Proc.Step.perform] inside
+   effect-handler coroutines (one stack switch per machine step), [Steps]
+   drives them by direct closure application with no fiber at all. *)
+let bench_mk_tm_step (module T : Tm_intf.S_step) engine trace () =
+  let module R = Runner.Make_step (T) in
+  let module Sm = Ptm_machine.Proc.Step in
+  let m = Ptm_machine.Machine.create ~trace ~engine ~nprocs:2 () in
+  let ctx = R.init m ~nobjs:2 in
+  Ptm_machine.Machine.spawn_step m 0
+    (Sm.bind (R.begin_tx ctx ~pid:0) (fun tx ->
+         Sm.bind (R.read ctx tx 0) (function
+           | Error `Abort -> Sm.return ()
+           | Ok _ ->
+               Sm.bind (R.write ctx tx 1 10) (function
+                 | Error `Abort -> Sm.return ()
+                 | Ok () -> Sm.bind (R.commit ctx tx) (fun _ -> Sm.return ())))));
+  Ptm_machine.Machine.spawn_step m 1
+    (Sm.bind (R.begin_tx ctx ~pid:1) (fun tx ->
+         Sm.bind (R.write ctx tx 0 20) (function
+           | Error `Abort -> Sm.return ()
+           | Ok () ->
+               Sm.bind (R.read ctx tx 1) (function
+                 | Error `Abort -> Sm.return ()
+                 | Ok _ -> Sm.bind (R.commit ctx tx) (fun _ -> Sm.return ())))));
+  m
+
+let e14_configs ~quick =
+  [
+    ( "undolog-step",
+      (module Ptm_tms.Undolog.Stepwise : Tm_intf.S_step),
+      40,
+      4_000_000 );
+    ( "ostm-step",
+      (module Ptm_tms.Ostm.Stepwise : Tm_intf.S_step),
+      40,
+      if quick then 20_000 else 100_000 );
+  ]
+
+(* Leaves/s of the same step-form search on both engines (trace=off). The
+   stats are asserted bit-identical — the engines must find exactly the
+   same schedule tree; only the per-step driving cost differs. Returns
+   gate cells in the E11 format, [engine] distinguishing the rows. *)
+let e14 ?(quick = false) () =
+  hr
+    "E14. Engine ablation: step programs on Fibers (effect handlers) vs \
+     Steps (direct application), trace=off";
+  let configs = e14_configs ~quick in
+  let modes =
+    [ ("naive", Ptm_machine.Explore.Naive); ("dpor", Ptm_machine.Explore.Dpor) ]
+  in
+  let min_time = if quick then 0.02 else 0.2 in
+  let cells = ref [] in
+  let speedups = ref [] in
+  Fmt.pr "%-14s %-6s %10s %6s %14s %14s %8s@." "config" "mode" "paths" "cut"
+    "fibers leaves/s" "steps leaves/s" "speedup";
+  List.iter
+    (fun (cname, tm, max_steps, max_paths) ->
+      List.iter
+        (fun (mname, mode) ->
+          let measure engine =
+            timed_runs min_time (fun () ->
+                Ptm_machine.Explore.run
+                  ~mk:(bench_mk_tm_step tm engine Ptm_machine.Trace.Off)
+                  ~max_steps ~max_paths ~mode ())
+          in
+          let sf, reps_f, dt_f, rps_f = measure Ptm_machine.Machine.Fibers in
+          let ss, reps_s, dt_s, rps_s = measure Ptm_machine.Machine.Steps in
+          (* the engines must run bit-identical searches *)
+          assert (sf = ss);
+          let open Ptm_machine.Explore in
+          let leaves = ss.paths + ss.cut in
+          let lf = float_of_int leaves *. rps_f
+          and ls = float_of_int leaves *. rps_s in
+          speedups := ((cname, mname), ls /. lf) :: !speedups;
+          Fmt.pr "%-14s %-6s %10d %6d %14.0f %14.0f %7.2fx@." cname mname
+            ss.paths ss.cut lf ls (ls /. lf);
+          let cell engine (s : stats) reps dt lps =
+            ( ((cname, mname, "off", engine), lps),
+              Printf.sprintf
+                "    {\"config\":%S,\"mode\":%S,\"trace\":\"off\",\
+                 \"engine\":%S,\"paths\":%d,\
+                 \"cut\":%d,\"pruned\":%d,\"violations\":%d,\"replays\":%d,\
+                 \"steps\":%d,\"replay_steps_saved\":%d,\"repeats\":%d,\
+                 \"elapsed_s\":%.4f,\
+                 \"paths_per_sec\":%.1f,\"leaves_per_sec\":%.1f,\
+                 \"steps_per_sec\":%.1f}"
+                cname mname engine s.paths s.cut s.pruned s.violations
+                s.replays s.steps s.replay_steps_saved reps dt
+                (float_of_int s.paths *. lps /. float_of_int leaves)
+                lps
+                (float_of_int s.steps *. lps /. float_of_int leaves) )
+          in
+          cells :=
+            cell "steps" ss reps_s dt_s ls
+            :: cell "fibers" sf reps_f dt_f lf
+            :: !cells)
+        modes)
+    configs;
+  let sp k = try List.assoc k !speedups with Not_found -> 0. in
+  Fmt.pr
+    "@.The issue's target was >= 5x leaves/s on the DPOR cells from killing@.\
+     the per-step stack switch — measured %.2fx (undolog) and %.2fx (ostm).@.\
+     The honest number matters more than the slogan: the fiber switch is@.\
+     only part of the per-step cost (scheduling, replay and memory-event@.\
+     bookkeeping are engine-independent), so the ablation reports what the@.\
+     switch itself was costing.@."
+    (sp ("undolog-step", "dpor"))
+    (sp ("ostm-step", "dpor"));
+  List.rev !cells
+
+(* One BENCH_explore.json for the CI perf-smoke artifact, fed by the E11
+   and E14 cells together. *)
+let write_explore_json cells =
+  let oc = open_out "BENCH_explore.json" in
+  output_string oc "{\n  \"experiment\": \"E11+E14\",\n  \"cells\": [\n";
+  output_string oc (String.concat ",\n" (List.map snd cells));
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  Fmt.pr "Wrote BENCH_explore.json (%d cells).@." (List.length cells)
+
+(* ------------------------------------------------------------------ *)
 (* CI perf-regression gate                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* Compare a fresh E11 measurement against the checked-in
+(* Compare a fresh E11 + E14 measurement against the checked-in
    BENCH_explore.json. The re-measurement uses the same budgets as the
    baseline run (full, not quick) so the cells are like-for-like; machines
    still differ in absolute speed, so ratios are normalised by the median
    now/baseline ratio across cells, and a cell fails if its normalised
    throughput drops by more than 25%. The dpor-par2 rows are excluded:
    domain-spawn latency dominates those sub-millisecond searches and they
-   swing several-fold run to run (see EXPERIMENTS.md E11). The baseline is
-   parsed BEFORE e11 rewrites the file. *)
+   swing several-fold run to run (see EXPERIMENTS.md E11). Cells are keyed
+   by (config, mode, trace, engine); baselines predating the engine
+   ablation carry no "engine" field and default to "fibers". The baseline
+   is parsed BEFORE the fresh cells rewrite the file. *)
 let gate ?(quick = false) () =
   let file = "BENCH_explore.json" in
   let baseline =
@@ -844,12 +967,14 @@ let gate ?(quick = false) () =
          match
            (try
               (sfield "config", sfield "mode", sfield "trace",
-               ffield "leaves_per_sec")
+               sfield "engine", ffield "leaves_per_sec")
             with Not_found | Failure _ | Invalid_argument _ ->
               incr malformed;
-              (None, None, None, None))
+              (None, None, None, None, None))
          with
-         | Some c, Some m, Some t, Some l -> cells := ((c, m, t), l) :: !cells
+         | Some c, Some m, Some t, e, Some l ->
+             let e = Option.value e ~default:"fibers" in
+             cells := ((c, m, t, e), l) :: !cells
          | _ -> ()
        done
      with End_of_file -> ());
@@ -868,17 +993,18 @@ let gate ?(quick = false) () =
       file;
     exit 2
   end;
-  let now = e11 ~quick () in
-  hr "Perf gate: fresh E11 vs checked-in BENCH_explore.json";
+  let fresh = e11 ~quick () @ e14 ~quick () in
+  write_explore_json fresh;
+  hr "Perf gate: fresh E11 + E14 vs checked-in BENCH_explore.json";
   let ratios =
     List.filter_map
-      (fun (c, m, t, l_now) ->
+      (fun (((_, m, _, _) as key), l_now) ->
         if m = "dpor-par2" then None
         else
-          match List.assoc_opt (c, m, t) baseline with
-          | Some l_base when l_base > 0. -> Some ((c, m, t), l_now /. l_base)
+          match List.assoc_opt key baseline with
+          | Some l_base when l_base > 0. -> Some (key, l_now /. l_base)
           | _ -> None)
-      now
+      (List.map fst fresh)
   in
   let sorted = List.sort compare (List.map snd ratios) in
   let median =
@@ -889,13 +1015,13 @@ let gate ?(quick = false) () =
     | l -> List.nth l (List.length l / 2)
   in
   let failed = ref [] in
-  Fmt.pr "%-14s %-10s %-5s %9s %10s@." "config" "mode" "trace" "now/base"
-    "normalised";
+  Fmt.pr "%-14s %-10s %-5s %-7s %9s %10s@." "config" "mode" "trace" "engine"
+    "now/base" "normalised";
   List.iter
-    (fun (((c, m, t) as key), r) ->
+    (fun (((c, m, t, e) as key), r) ->
       let norm = r /. median in
       if norm < 0.75 then failed := key :: !failed;
-      Fmt.pr "%-14s %-10s %-5s %8.2fx %9.2fx %s@." c m t r norm
+      Fmt.pr "%-14s %-10s %-5s %-7s %8.2fx %9.2fx %s@." c m t e r norm
         (if norm < 0.75 then "FAIL" else ""))
     ratios;
   Fmt.pr "@.median now/baseline ratio: %.2fx (machine-speed normalisation)@."
@@ -975,9 +1101,10 @@ let () =
   let quick = arg "quick" in
   Fmt.pr
     "Progressive Transactional Memory in Time and Space — experiment suite@.";
-  if arg "e11" then ignore (e11 ~quick ())
+  if arg "e11" then write_explore_json (e11 ~quick () @ e14 ~quick ())
   else if arg "e12" then e12 ~quick ()
   else if arg "e13" then e13 ()
+  else if arg "e14" then ignore (e14 ~quick ())
   else if arg "gate" then gate ~quick:true ()
   else begin
     e1 ();
@@ -988,9 +1115,11 @@ let () =
     e8 ();
     e9 ();
     e10 ();
-    ignore (e11 ~quick ());
+    let c11 = e11 ~quick () in
     e12 ~quick ();
     e13 ();
+    let c14 = e14 ~quick () in
+    write_explore_json (c11 @ c14);
     if not fast then bechamel_pass ()
   end;
   Fmt.pr "@.done.@."

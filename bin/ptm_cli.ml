@@ -338,9 +338,65 @@ let explore_cmd =
       & info [ "stall-steps" ] ~docv:"D"
           ~doc:"Scheduled slots each injected stall parks its process for.")
   in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Journal frontier progress to $(docv) (crash-safe, flushed per \
+             finished subtree task) so a killed exploration can be resumed.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the $(b,--checkpoint) journal: finished tasks are \
+             restored from disk, only the rest are explored.")
+  in
+  let tm_step_arg =
+    let step_conv =
+      let parse s =
+        match Ptm_tms.Registry.stepwise_by_name s with
+        | Some tm -> Ok tm
+        | None ->
+            Error
+              (`Msg
+                (Printf.sprintf "unknown step-form TM %S (try: %s)" s
+                   (String.concat ", "
+                      (List.map
+                         (fun (module T : Ptm_core.Tm_intf.S_step) -> T.name)
+                         Ptm_tms.Registry.stepwise))))
+      in
+      let print ppf (module T : Ptm_core.Tm_intf.S_step) =
+        Fmt.string ppf T.name
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt (some step_conv) None
+      & info [ "tm" ] ~docv:"TM"
+          ~doc:
+            "Model-check a step-form TM (one read-write transaction per \
+             process) instead of a lock; see $(b,--engine).")
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt
+          (enum [ ("fibers", `Fibers); ("steps", `Steps); ("both", `Both) ])
+          `Fibers
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Machine backend for the $(b,--tm) fixture: $(b,fibers), \
+             $(b,steps), or $(b,both) (run twice and require identical \
+             stats).")
+  in
   let run (module L : Ptm_mutex.Mutex_intf.S) max_steps nprocs max_paths
       reduce domains compare progress_every trace pool checkpoint_stride
-      crashes stalls stall_steps =
+      crashes stalls stall_steps checkpoint_file resume tm_step engine =
     let mk () =
       let m = Ptm_machine.Machine.create ~trace ~nprocs () in
       let lock = L.create m ~nprocs in
@@ -372,6 +428,24 @@ let explore_cmd =
       done;
       m
     in
+    (* Step-form TM fixture: each process runs one instrumented read-write
+       transaction (write own object, read the neighbour's), expressible on
+       either machine backend. *)
+    let mk_tm (module T : Ptm_core.Tm_intf.S_step) eng () =
+      let module Sm = Ptm_machine.Proc.Step in
+      let module R = Ptm_core.Runner.Make_step (T) in
+      let m = Ptm_machine.Machine.create ~trace ~engine:eng ~nprocs () in
+      let ctx = R.init m ~nobjs:2 in
+      for pid = 0 to nprocs - 1 do
+        Ptm_machine.Machine.spawn_step m pid
+          (Sm.bind
+             (R.atomically ctx ~pid ~retries:1 (fun tx ->
+                  Sm.bind (R.write ctx tx (pid mod 2) (pid + 1)) (fun _ ->
+                      R.read ctx tx ((pid + 1) mod 2))))
+             (fun _ -> Sm.return ()))
+      done;
+      m
+    in
     let progress =
       if progress_every <= 0 then None
       else
@@ -379,32 +453,75 @@ let explore_cmd =
           (fun (s : Ptm_machine.Explore.stats) ->
             Fmt.epr "... %d paths, %d cut, %d pruned@." s.paths s.cut s.pruned)
     in
-    let search mode =
+    let search ~mk mode =
       Ptm_machine.Explore.run ~mk ~max_steps ~max_paths ~mode ~domains ~pool
-        ~checkpoint_stride ~fuse:true ~crashes ~stalls ~stall_steps ?progress
+        ~checkpoint_stride ~fuse:true ~crashes ~stalls ~stall_steps
+        ?checkpoint_file ~resume ?progress
         ~progress_every:(max 1 progress_every)
         ()
     in
-    if compare then begin
-      let naive = search Ptm_machine.Explore.Naive in
-      let reduced = search Ptm_machine.Explore.Dpor in
-      Fmt.pr "%s naive: %a@." L.name Ptm_machine.Explore.pp_stats naive;
-      Fmt.pr "%s dpor:  %a@." L.name Ptm_machine.Explore.pp_stats reduced;
-      Fmt.pr "reduction: %.1fx fewer paths@."
-        (Ptm_machine.Explore.reduction_ratio ~naive ~reduced);
-      if naive.Ptm_machine.Explore.violations > 0
-         || reduced.Ptm_machine.Explore.violations > 0
-      then exit 1
-    end
-    else begin
-      let s =
-        search
-          (if reduce then Ptm_machine.Explore.Dpor
-           else Ptm_machine.Explore.Naive)
-      in
-      Fmt.pr "%s: %a@." L.name Ptm_machine.Explore.pp_stats s;
-      if s.Ptm_machine.Explore.violations > 0 then exit 1
-    end
+    let mode =
+      if reduce then Ptm_machine.Explore.Dpor else Ptm_machine.Explore.Naive
+    in
+    try
+      match tm_step with
+      | Some ((module T : Ptm_core.Tm_intf.S_step) as tmod) -> begin
+          let name eng =
+            Printf.sprintf "%s/%s" T.name
+              (match eng with
+              | Ptm_machine.Machine.Fibers -> "fibers"
+              | Ptm_machine.Machine.Steps -> "steps")
+          in
+          let search_tm eng =
+            search ~mk:(mk_tm tmod eng) mode
+          in
+          match engine with
+          | `Fibers ->
+              let s = search_tm Ptm_machine.Machine.Fibers in
+              Fmt.pr "%s: %a@." (name Ptm_machine.Machine.Fibers)
+                Ptm_machine.Explore.pp_stats s;
+              if s.Ptm_machine.Explore.violations > 0 then exit 1
+          | `Steps ->
+              let s = search_tm Ptm_machine.Machine.Steps in
+              Fmt.pr "%s: %a@." (name Ptm_machine.Machine.Steps)
+                Ptm_machine.Explore.pp_stats s;
+              if s.Ptm_machine.Explore.violations > 0 then exit 1
+          | `Both ->
+              let a = search_tm Ptm_machine.Machine.Fibers in
+              let b = search_tm Ptm_machine.Machine.Steps in
+              Fmt.pr "%s: %a@." (name Ptm_machine.Machine.Fibers)
+                Ptm_machine.Explore.pp_stats a;
+              Fmt.pr "%s: %a@." (name Ptm_machine.Machine.Steps)
+                Ptm_machine.Explore.pp_stats b;
+              if a <> b then begin
+                Fmt.epr "engines disagree: the backends must be bit-identical@.";
+                exit 1
+              end;
+              if a.Ptm_machine.Explore.violations > 0 then exit 1
+        end
+      | None ->
+          if compare then begin
+            let naive = search ~mk Ptm_machine.Explore.Naive in
+            let reduced = search ~mk Ptm_machine.Explore.Dpor in
+            Fmt.pr "%s naive: %a@." L.name Ptm_machine.Explore.pp_stats naive;
+            Fmt.pr "%s dpor:  %a@." L.name Ptm_machine.Explore.pp_stats reduced;
+            Fmt.pr "reduction: %.1fx fewer paths@."
+              (Ptm_machine.Explore.reduction_ratio ~naive ~reduced);
+            if naive.Ptm_machine.Explore.violations > 0
+               || reduced.Ptm_machine.Explore.violations > 0
+            then exit 1
+          end
+          else begin
+            let s = search ~mk mode in
+            Fmt.pr "%s: %a@." L.name Ptm_machine.Explore.pp_stats s;
+            if s.Ptm_machine.Explore.violations > 0 then exit 1
+          end
+    with Ptm_machine.Machine.Invariant { pid; slot; seq; what } ->
+      Fmt.epr
+        "machine invariant violated: %s (pid %d, scheduled slot %d, schedule \
+         index %d)@."
+        what pid slot seq;
+      exit 2
   in
   Cmd.v
     (Cmd.info "explore"
@@ -415,7 +532,8 @@ let explore_cmd =
     Term.(
       const run $ lock_arg $ steps_arg $ procs_arg $ paths_arg $ reduce_arg
       $ domains_arg $ compare_arg $ progress_arg $ trace_arg $ pool_arg
-      $ stride_arg $ crashes_arg $ stalls_arg $ stall_steps_arg)
+      $ stride_arg $ crashes_arg $ stalls_arg $ stall_steps_arg
+      $ checkpoint_arg $ resume_arg $ tm_step_arg $ engine_arg)
 
 (* ---------------- run (faults) ---------------- *)
 

@@ -1,0 +1,18 @@
+exception
+  Bounds_error of {
+    construction : string;  (* "lemma2", "theorem3", "tightness", ... *)
+    tm : string;
+    stage : string;  (* which construction step diverged from the paper *)
+  }
+
+let raise_ ~construction ~tm ~stage =
+  raise (Bounds_error { construction; tm; stage })
+
+let () =
+  Printexc.register_printer (function
+    | Bounds_error { construction; tm; stage } ->
+        Some
+          (Printf.sprintf
+             "Bounds_error: %s construction diverged on %s — %s" construction
+             tm stage)
+    | _ -> None)

@@ -1,0 +1,20 @@
+(** The error every lower-bound construction raises when the execution it
+    is steering diverges from the paper's script (e.g. a solo writer aborts,
+    or a process pauses where the construction expects it to finish).
+
+    Divergence is distinct from {e blocking}: a TM legitimately escaping a
+    construction's premises (a visible-read lock stalling the solo writer,
+    say) raises the construction's own [Construction_blocked] and is
+    reported as a premise violation, while [Bounds_error] means the
+    construction itself cannot drive this TM and the result would be
+    meaningless — a bug in the TM or the construction, carrying enough
+    context to say which step diverged where. *)
+
+exception
+  Bounds_error of {
+    construction : string;  (** ["lemma2"], ["theorem3"], ["tightness"] *)
+    tm : string;  (** name of the TM under construction *)
+    stage : string;  (** which construction step diverged *)
+  }
+
+val raise_ : construction:string -> tm:string -> stage:string -> 'a

@@ -60,20 +60,24 @@ let exec (module T : Ptm_core.Tm_intf.S) ~i ~writer_first =
     Machine.spawn machine 1 (fun () ->
         let tx = R.begin_tx ctx ~pid:1 in
         match R.write ctx tx (i - 1) nv with
-        | Error `Abort -> failwith "Lemma2: solo writer aborted on write"
+        | Error `Abort -> Bounds_error.raise_ ~construction:"lemma2" ~tm:T.name
+              ~stage:"solo writer aborted on write"
         | Ok () -> (
             match R.commit ctx tx with
-            | Error `Abort -> failwith "Lemma2: solo writer aborted at commit"
+            | Error `Abort -> Bounds_error.raise_ ~construction:"lemma2" ~tm:T.name
+                  ~stage:"solo writer aborted at commit"
             | Ok () -> ()));
     match solo machine 1 with
     | `Done -> ()
-    | `Paused -> failwith "Lemma2: unexpected pause in T_i"
+    | `Paused -> Bounds_error.raise_ ~construction:"lemma2" ~tm:T.name
+          ~stage:"unexpected pause in T_i"
   in
   let run_prefix () =
     for _ = 1 to i - 1 do
       match solo machine 0 with
       | `Paused -> ()
-      | `Done -> failwith "Lemma2: T_phi terminated prematurely"
+      | `Done -> Bounds_error.raise_ ~construction:"lemma2" ~tm:T.name
+            ~stage:"T_phi terminated prematurely"
     done
   in
   if writer_first then begin

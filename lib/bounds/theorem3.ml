@@ -74,7 +74,8 @@ let run_case (module T : Ptm_core.Tm_intf.S) ~m ~i ~ell ~with_commit =
   for _ = 1 to i - 1 do
     match solo machine 0 with
     | `Paused -> ()
-    | `Done -> failwith "Theorem3: T_phi terminated prematurely"
+    | `Done -> Bounds_error.raise_ ~construction:"theorem3" ~tm:T.name
+          ~stage:"T_phi terminated prematurely"
   done;
   let solo_writer pid x =
     Machine.spawn machine pid (fun () ->
@@ -121,7 +122,8 @@ let run_case (module T : Ptm_core.Tm_intf.S) ~m ~i ~ell ~with_commit =
     match results.(i - 1) with
     | `Val v -> `Val v
     | `Aborted -> `Aborted
-    | `Pending -> failwith "Theorem3: i-th read did not respond"
+    | `Pending -> Bounds_error.raise_ ~construction:"theorem3" ~tm:T.name
+          ~stage:"i-th read did not respond"
   in
   (* Lemma 1 check: T_ell (pid 1) and T_i (pid 2) have disjoint data sets, so
      under weak DAP they must not contend on any base object. *)

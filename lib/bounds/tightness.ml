@@ -29,7 +29,8 @@ let read_only_cost (module T : Ptm_core.Tm_intf.S) ~m =
       loop 0);
   (match Sched.solo machine 0 with
   | `Done -> ()
-  | `Paused -> failwith "Tightness: unexpected pause");
+  | `Paused -> Bounds_error.raise_ ~construction:"tightness" ~tm:T.name
+        ~stage:"unexpected pause in the solo reader");
   Machine.check_crashes machine;
   let trace = Machine.trace machine in
   let tx_id = 0 in

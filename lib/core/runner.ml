@@ -142,6 +142,200 @@ module Make (T : Tm_intf.S) = struct
     attempt 0
 end
 
+(* The step-form twin of [Make]: identical instrumentation, with every
+   t-operation a step-machine program, so instrumented TMs run on either
+   machine backend. Kept a line-by-line mirror of [Make] — when editing one,
+   edit both. *)
+module Make_step (T : Tm_intf.S_step) = struct
+  module Sm = Proc.Step
+
+  let ( let* ) = Sm.bind
+
+  type ctx = {
+    state : T.t;
+    machine : Machine.t;
+    mem : Memory.t;
+    next_id : Memory.addr;
+    opix : Memory.addr array;
+  }
+
+  let init machine ~nobjs =
+    let state = T.create machine ~nobjs in
+    let next_id = Machine.alloc machine ~name:"runner.next_id" (Value.Int 0) in
+    let opix =
+      Array.init (Machine.nprocs machine) (fun i ->
+          Machine.alloc machine
+            ~name:(Printf.sprintf "runner.opix.p%d" i)
+            (Value.Int 0))
+    in
+    { state; machine; mem = Machine.memory machine; next_id; opix }
+
+  let tm_state ctx = ctx.state
+
+  type tx = { pid : int; id : int; inner : T.tx; mutable dead : bool }
+
+  let tx_id tx = tx.id
+
+  let begin_tx ctx ~pid =
+    Sm.suspend @@ fun () ->
+    let id = Value.to_int (Memory.peek ctx.mem ctx.next_id) in
+    Memory.poke ctx.mem ctx.next_id (Value.Int (id + 1));
+    Sm.return { pid; id; inner = T.fresh ctx.state ~pid ~id; dead = false }
+
+  let guard tx = if tx.dead then invalid_arg "Runner: use of dead transaction"
+
+  let fault_abort ctx tx op =
+    Sm.suspend @@ fun () ->
+    let cell = ctx.opix.(tx.pid) in
+    let k = Value.to_int (Memory.peek ctx.mem cell) in
+    Memory.poke ctx.mem cell (Value.Int (k + 1));
+    if Machine.abort_due ctx.machine tx.pid ~op_index:k then begin
+      tx.dead <- true;
+      let* () = Sm.note (History.Tx_inv { pid = tx.pid; tx = tx.id; op }) in
+      let* () =
+        Sm.note (History.Tx_injected_abort { pid = tx.pid; tx = tx.id })
+      in
+      let* () =
+        Sm.note
+          (History.Tx_res { pid = tx.pid; tx = tx.id; op; res = History.RAbort })
+      in
+      Sm.return true
+    end
+    else Sm.return false
+
+  let read ctx tx x =
+    Sm.suspend @@ fun () ->
+    guard tx;
+    let* injected = fault_abort ctx tx (History.Read x) in
+    if injected then Sm.return (Error `Abort)
+    else
+      let* () =
+        Sm.note
+          (History.Tx_inv { pid = tx.pid; tx = tx.id; op = History.Read x })
+      in
+      let* r = T.read ctx.state tx.inner x in
+      match r with
+      | Ok v ->
+          let* () =
+            Sm.note
+              (History.Tx_res
+                 {
+                   pid = tx.pid;
+                   tx = tx.id;
+                   op = History.Read x;
+                   res = History.RVal v;
+                 })
+          in
+          Sm.return (Ok v)
+      | Error `Abort ->
+          tx.dead <- true;
+          let* () =
+            Sm.note
+              (History.Tx_res
+                 {
+                   pid = tx.pid;
+                   tx = tx.id;
+                   op = History.Read x;
+                   res = History.RAbort;
+                 })
+          in
+          Sm.return (Error `Abort)
+
+  let write ctx tx x v =
+    Sm.suspend @@ fun () ->
+    guard tx;
+    let* injected = fault_abort ctx tx (History.Write (x, v)) in
+    if injected then Sm.return (Error `Abort)
+    else
+      let* () =
+        Sm.note
+          (History.Tx_inv { pid = tx.pid; tx = tx.id; op = History.Write (x, v) })
+      in
+      let* r = T.write ctx.state tx.inner x v in
+      match r with
+      | Ok () ->
+          let* () =
+            Sm.note
+              (History.Tx_res
+                 {
+                   pid = tx.pid;
+                   tx = tx.id;
+                   op = History.Write (x, v);
+                   res = History.ROk;
+                 })
+          in
+          Sm.return (Ok ())
+      | Error `Abort ->
+          tx.dead <- true;
+          let* () =
+            Sm.note
+              (History.Tx_res
+                 {
+                   pid = tx.pid;
+                   tx = tx.id;
+                   op = History.Write (x, v);
+                   res = History.RAbort;
+                 })
+          in
+          Sm.return (Error `Abort)
+
+  let commit ctx tx =
+    Sm.suspend @@ fun () ->
+    guard tx;
+    let* injected = fault_abort ctx tx History.Try_commit in
+    if injected then Sm.return (Error `Abort)
+    else
+      let* () =
+        Sm.note
+          (History.Tx_inv { pid = tx.pid; tx = tx.id; op = History.Try_commit })
+      in
+      let* r = T.try_commit ctx.state tx.inner in
+      match r with
+      | Ok () ->
+          tx.dead <- true;
+          let* () =
+            Sm.note
+              (History.Tx_res
+                 {
+                   pid = tx.pid;
+                   tx = tx.id;
+                   op = History.Try_commit;
+                   res = History.RCommit;
+                 })
+          in
+          Sm.return (Ok ())
+      | Error `Abort ->
+          tx.dead <- true;
+          let* () =
+            Sm.note
+              (History.Tx_res
+                 {
+                   pid = tx.pid;
+                   tx = tx.id;
+                   op = History.Try_commit;
+                   res = History.RAbort;
+                 })
+          in
+          Sm.return (Error `Abort)
+
+  let atomically ctx ~pid ~retries body =
+    Sm.suspend @@ fun () ->
+    let rec attempt k =
+      let* tx = begin_tx ctx ~pid in
+      let* r = body tx in
+      match r with
+      | Ok a -> (
+          let* c = commit ctx tx in
+          match c with
+          | Ok () -> Sm.return (Ok a)
+          | Error `Abort ->
+              if k < retries then attempt (k + 1) else Sm.return (Error `Abort))
+      | Error `Abort ->
+          if k < retries then attempt (k + 1) else Sm.return (Error `Abort)
+    in
+    attempt 0
+end
+
 type retry_policy =
   | Immediate
   | Backoff of { base : int; factor : int; cap : int; max_retries : int }

@@ -36,6 +36,39 @@ module Make (T : Tm_intf.S) : sig
       t-objects only through {!read} and {!write} on the given handle. *)
 end
 
+(** The step-form twin of {!Make}: the same instrumentation (identical note
+    sequences, fault-injected aborts, id allocation), with every t-operation
+    a step-machine program — so an instrumented step-form TM runs on either
+    {!Machine} backend via {!Machine.spawn_step}, or inside a fiber via
+    {!Ptm_machine.Proc.Step.perform}. *)
+module Make_step (T : Tm_intf.S_step) : sig
+  type ctx
+
+  val init : Machine.t -> nobjs:int -> ctx
+  val tm_state : ctx -> T.t
+
+  type tx
+
+  val tx_id : tx -> int
+
+  val begin_tx : ctx -> pid:int -> tx Ptm_machine.Proc.Step.t
+  (** Allocate a fresh instrumented transaction (no events — ids live in a
+      peeked/poked machine cell, so explorer re-runs replay them). *)
+
+  val read : ctx -> tx -> int -> (int, Tm_intf.abort) result Ptm_machine.Proc.Step.t
+  val write :
+    ctx -> tx -> int -> int -> (unit, Tm_intf.abort) result Ptm_machine.Proc.Step.t
+  val commit : ctx -> tx -> (unit, Tm_intf.abort) result Ptm_machine.Proc.Step.t
+
+  val atomically :
+    ctx -> pid:int -> retries:int ->
+    (tx -> ('a, Tm_intf.abort) result Ptm_machine.Proc.Step.t) ->
+    ('a, Tm_intf.abort) result Ptm_machine.Proc.Step.t
+  (** Step-form {!Make.atomically}: run the body as a transaction, committing
+      on success; on abort, retry up to [retries] times as fresh
+      transactions. *)
+end
+
 type retry_policy =
   | Immediate  (** re-issue an aborted attempt on the next scheduled slot *)
   | Backoff of { base : int; factor : int; cap : int; max_retries : int }

@@ -59,3 +59,49 @@ module type S = sig
 end
 
 type tm = (module S)
+
+(** The same interface with the t-operations as step-machine programs
+    ({!Ptm_machine.Proc.Step.t}): a step-form TM runs on either machine
+    backend — driven directly under [Steps], via {!Ptm_machine.Proc.Step.perform}
+    under [Fibers] — with bit-identical traces. Construction of each
+    returned program must be side-effect free (defer mutation with
+    {!Ptm_machine.Proc.Step.suspend}), so explorer machine restarts replay
+    it faithfully. *)
+module type S_step = sig
+  val name : string
+  val props : props
+
+  type t
+
+  val create : Ptm_machine.Machine.t -> nobjs:int -> t
+
+  type tx
+
+  val fresh : t -> pid:int -> id:int -> tx
+  val read : t -> tx -> int -> (int, abort) result Ptm_machine.Proc.Step.t
+  val write :
+    t -> tx -> int -> int -> (unit, abort) result Ptm_machine.Proc.Step.t
+  val try_commit : t -> tx -> (unit, abort) result Ptm_machine.Proc.Step.t
+end
+
+type tm_step = (module S_step)
+
+(** Derive the direct-style interface from a step-form implementation by
+    interpreting each operation's program in place — callable only inside a
+    fiber-backed process, like any direct-style operation, and emitting the
+    identical event sequence. *)
+module Of_step (M : S_step) : S with type t = M.t and type tx = M.tx = struct
+  let name = M.name
+  let props = M.props
+
+  type t = M.t
+
+  let create = M.create
+
+  type tx = M.tx
+
+  let fresh = M.fresh
+  let read t tx x = Ptm_machine.Proc.Step.perform (M.read t tx x)
+  let write t tx x v = Ptm_machine.Proc.Step.perform (M.write t tx x v)
+  let try_commit t tx = Ptm_machine.Proc.Step.perform (M.try_commit t tx)
+end

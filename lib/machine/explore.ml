@@ -856,6 +856,122 @@ let prefix_faults prefix =
     prefix;
   (!c, !s)
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint journal: a line-oriented on-disk log of frontier progress *)
+(* that survives [kill -9]. The header fingerprints the exploration     *)
+(* configuration, the task lines record the (deterministic) frontier,   *)
+(* and one done-line is appended (and flushed) per finished task. A     *)
+(* resumed run re-expands the frontier, verifies it matches the journal *)
+(* byte for byte, seeds the matched done tasks' stats from the log, and *)
+(* explores only the rest. Each done line ends with a "." marker so a   *)
+(* write truncated mid-line by a crash is simply ignored.               *)
+(* ------------------------------------------------------------------ *)
+
+type journal = { j_oc : out_channel; j_lock : Mutex.t }
+
+let mode_name = function Naive -> "naive" | Dpor -> "dpor"
+
+let journal_header ~mode ~max_steps ~max_paths ~crashes ~stalls ~stall_steps
+    ~nprocs ~ntasks =
+  Printf.sprintf "ptm-ckpt 1 %s %d %d %d %d %d %d %d" (mode_name mode)
+    max_steps max_paths crashes stalls stall_steps nprocs ntasks
+
+let task_line t =
+  let b = Buffer.create 32 in
+  Buffer.add_string b (Printf.sprintf "t %d" t.t_sleep);
+  Array.iter (fun a -> Buffer.add_string b (Printf.sprintf " %d" a)) t.t_prefix;
+  Buffer.contents b
+
+(* the witness schedule: "-" none, "e" empty, else comma-separated *)
+let done_line i (s : stats) =
+  let w =
+    match s.first_violation with
+    | None -> "-"
+    | Some [] -> "e"
+    | Some sched -> String.concat "," (List.map string_of_int sched)
+  in
+  Printf.sprintf "d %d %d %d %d %d %d %d %d %d %d %s ." i s.paths s.cut
+    s.pruned s.violations s.replays s.steps s.replay_steps_saved
+    s.fault_branches
+    (if s.exhausted then 1 else 0)
+    w
+
+(* A complete done line, or None (anything else, including lines cut short
+   by a crash mid-write). *)
+let parse_done line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "d"; i; paths; cut; pruned; violations; replays; steps; saved; faults;
+      ex; w; "." ] -> (
+      try
+        let witness =
+          match w with
+          | "-" -> None
+          | "e" -> Some []
+          | _ -> Some (List.map int_of_string (String.split_on_char ',' w))
+        in
+        Some
+          ( int_of_string i,
+            {
+              paths = int_of_string paths;
+              cut = int_of_string cut;
+              pruned = int_of_string pruned;
+              violations = int_of_string violations;
+              first_violation = witness;
+              exhausted = String.equal ex "1";
+              replays = int_of_string replays;
+              steps = int_of_string steps;
+              replay_steps_saved = int_of_string saved;
+              fault_branches = int_of_string faults;
+            } )
+      with _ -> None)
+  | _ -> None
+
+let journal_mismatch () =
+  invalid_arg
+    "Explore.run: the checkpoint journal records a different exploration \
+     (other program, configuration, or version) — delete the file or drop \
+     resume"
+
+(* Load a journal for resumption. [Some dones] if the header and task
+   section are complete and match this exploration; [None] if the file is
+   absent or was truncated before the task section finished (start fresh).
+   A complete header or task line that does NOT match raises: resuming a
+   different exploration silently would corrupt both. *)
+let journal_load path ~header ~tasks =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    match List.rev !lines with
+    | [] -> None
+    | h :: rest ->
+        if not (String.equal h header) then
+          if String.length h >= 8 && String.equal (String.sub h 0 8) "ptm-ckpt"
+          then journal_mismatch ()
+          else None
+        else
+          let nt = Array.length tasks in
+          if List.length rest < nt then None
+          else begin
+            List.iteri
+              (fun i l ->
+                if i < nt && not (String.equal l (task_line tasks.(i))) then
+                  journal_mismatch ())
+              rest;
+            let dones =
+              List.filteri (fun i _ -> i >= nt) rest
+              |> List.filter_map parse_done
+            in
+            Some dones
+          end
+  end
+
 (* Expand one frontier node into its children, tallying any leaf it turns
    out to be into [acc]. In Dpor mode every enabled transition becomes a
    branch — a sound superset of any persistent set — and branch [i] starts
@@ -966,13 +1082,16 @@ let expand_node ctx acc st mode task' =
 let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
     ?(max_paths = 1_000_000) ?(mode = Naive) ?(domains = 1) ?(pool = true)
     ?(checkpoint_stride = 4) ?(fuse = true) ?(crashes = 0) ?(stalls = 0)
-    ?(stall_steps = 3) ?progress ?(progress_every = 10_000) () =
+    ?(stall_steps = 3) ?checkpoint_file ?(resume = false) ?progress
+    ?(progress_every = 10_000) () =
   if checkpoint_stride < 0 then
     invalid_arg "Explore.run: checkpoint_stride must be >= 0";
   if crashes < 0 || stalls < 0 then
     invalid_arg "Explore.run: fault budgets must be >= 0";
   if stall_steps < 1 then
     invalid_arg "Explore.run: stall_steps must be >= 1";
+  if resume && checkpoint_file = None then
+    invalid_arg "Explore.run: resume requires checkpoint_file";
   let root = mk () in
   let nprocs = Machine.nprocs root in
   if nprocs > max_procs then
@@ -1018,7 +1137,10 @@ let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
     | Naive -> naive_dfs ctx acc st m sched depth ~cr ~sl
     | Dpor -> dpor_dfs ctx acc st stack m sched depth sleep0 ~cr ~sl
   in
-  if domains <= 1 || max_steps <= 0 || Machine.any_crashed root then begin
+  let journal_on = checkpoint_file <> None in
+  if (domains <= 1 && not journal_on) || max_steps <= 0
+     || Machine.any_crashed root
+  then begin
     let acc = fresh_acc () in
     let st = pstate_make () in
     let stack =
@@ -1040,7 +1162,10 @@ let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
        task-ordered merge below is deterministic — except when the budget
        trips, where the cross-domain interleaving decides which leaves
        were admitted. Leaves met during expansion are tallied directly. *)
-    let target = 4 * domains in
+    (* With a journal the frontier must be a deterministic function of the
+       exploration alone — resume re-expands and validates it — so its size
+       target cannot depend on how many domains this particular run has. *)
+    let target = if journal_on then 64 else 4 * domains in
     let depth_cap = min max_steps 12 in
     let base = fresh_acc () in
     let seed_st = pstate_make () in
@@ -1065,41 +1190,135 @@ let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
     if !budget_in_seed || nt = 0 then stats_of ctx base
     else begin
       let results = Array.make nt empty_stats in
-      let next = Atomic.make 0 in
-      let worker () =
+      (* once claimed, a task is run (or was restored from the journal) by
+         exactly one worker *)
+      let claimed = Array.init nt (fun _ -> Atomic.make false) in
+      let journal =
+        match checkpoint_file with
+        | None -> None
+        | Some path ->
+            let header =
+              journal_header ~mode ~max_steps ~max_paths ~crashes ~stalls
+                ~stall_steps ~nprocs ~ntasks:nt
+            in
+            let prior =
+              if resume then journal_load path ~header ~tasks else None
+            in
+            (match prior with
+            | Some dones ->
+                List.iter
+                  (fun (i, (s : stats)) ->
+                    if
+                      i >= 0 && i < nt
+                      && Atomic.compare_and_set claimed.(i) false true
+                    then begin
+                      results.(i) <- s;
+                      (* restore the finished tasks' leaves into the budget
+                         so a resumed run admits exactly the leaves an
+                         uninterrupted one would *)
+                      ignore
+                        (Atomic.fetch_and_add ctx.spent (s.paths + s.cut)
+                          : int);
+                      if s.exhausted then Atomic.set ctx.tripped true
+                    end)
+                  dones
+            | None -> ());
+            let oc =
+              match prior with
+              | Some _ -> open_out_gen [ Open_append; Open_wronly ] 0o644 path
+              | None ->
+                  let oc = open_out path in
+                  output_string oc (header ^ "\n");
+                  Array.iter
+                    (fun t -> output_string oc (task_line t ^ "\n"))
+                    tasks;
+                  flush oc;
+                  oc
+            in
+            Some { j_oc = oc; j_lock = Mutex.create () }
+      in
+      (* Work-stealing task deques, one per worker, seeded up front with a
+         contiguous block of task indices each: consecutive tasks share
+         long schedule prefixes, so an owner draining its block in
+         ascending order gets cheap checkpointed replays. A worker whose
+         block runs dry steals from the opposite (descending) end of a
+         victim's block, keeping thieves out of the owner's locality until
+         the end. Both ends hand out indices with fetch-and-add; the claim
+         flags above make the last-element race (and any overshoot)
+         harmless, and monotone ends make emptiness stable, so the
+         termination sweep is race-free. *)
+      let nw = min domains nt in
+      let block_lo = Array.init nw (fun w -> w * nt / nw) in
+      let block_hi = Array.init nw (fun w -> (w + 1) * nt / nw) in
+      let q_lo = Array.init nw (fun w -> Atomic.make block_lo.(w)) in
+      let q_hi = Array.init nw (fun w -> Atomic.make block_hi.(w)) in
+      let worker w =
         let sched = sched_make ~log:(ctx.stride > 0) () in
         let st = pstate_make () in
         let stack =
           match mode with Naive -> [||] | Dpor -> stack_make ctx nprocs
         in
-        let rec pull () =
-          let i = Atomic.fetch_and_add next 1 in
-          if i < nt then begin
-            let t = tasks.(i) in
-            let acc = fresh_acc () in
-            (try
-               (* the previous task's replay state describes another
-                  prefix; a Budget unwind also leaves it unpopped *)
-               st.n_cks <- 0;
-               ai_clear st;
-               sched_reset sched t.t_prefix;
-               let used_cr, used_sl = prefix_faults t.t_prefix in
-               let m = replay ctx acc st sched in
-               explore_sub acc st stack m sched (Array.length t.t_prefix)
-                 t.t_sleep ~cr:(ctx.crashes - used_cr)
-                 ~sl:(ctx.stalls - used_sl)
-             with Budget -> ());
-            results.(i) <- stats_of ctx acc;
-            pull ()
-          end
+        let exec i =
+          let t = tasks.(i) in
+          let acc = fresh_acc () in
+          (try
+             (* the previous task's replay state describes another
+                prefix; a Budget unwind also leaves it unpopped *)
+             st.n_cks <- 0;
+             ai_clear st;
+             sched_reset sched t.t_prefix;
+             let used_cr, used_sl = prefix_faults t.t_prefix in
+             let m = replay ctx acc st sched in
+             explore_sub acc st stack m sched (Array.length t.t_prefix)
+               t.t_sleep ~cr:(ctx.crashes - used_cr)
+               ~sl:(ctx.stalls - used_sl)
+           with Budget -> ());
+          results.(i) <- stats_of ctx acc;
+          match journal with
+          | None -> ()
+          | Some j ->
+              Mutex.lock j.j_lock;
+              output_string j.j_oc (done_line i results.(i) ^ "\n");
+              flush j.j_oc;
+              Mutex.unlock j.j_lock
         in
-        pull ()
+        let claim i = Atomic.compare_and_set claimed.(i) false true in
+        let own_done = ref false in
+        let rec loop () =
+          if not !own_done then begin
+            let i = Atomic.fetch_and_add q_lo.(w) 1 in
+            if i < block_hi.(w) then begin
+              if claim i then exec i;
+              loop ()
+            end
+            else begin
+              own_done := true;
+              loop ()
+            end
+          end
+          else if steal_sweep () then loop ()
+        and steal_sweep () =
+          (* one pass over the victims; false only when every deque was
+             observed empty, which is stable *)
+          let saw_work = ref false in
+          for dv = 1 to nw - 1 do
+            let v = (w + dv) mod nw in
+            if Atomic.get q_hi.(v) > Atomic.get q_lo.(v) then begin
+              saw_work := true;
+              let i = Atomic.fetch_and_add q_hi.(v) (-1) - 1 in
+              if i >= block_lo.(v) && i < block_hi.(v) && claim i then exec i
+            end
+          done;
+          !saw_work
+        in
+        loop ()
       in
       let spawned =
-        Array.init (min domains nt - 1) (fun _ -> Domain.spawn worker)
+        Array.init (nw - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
       in
-      worker ();
+      worker 0;
       Array.iter Domain.join spawned;
+      (match journal with None -> () | Some j -> close_out j.j_oc);
       Array.fold_left merge_stats (stats_of ctx base) results
     end
   end

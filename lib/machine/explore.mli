@@ -87,6 +87,8 @@ val run :
   ?crashes:int ->
   ?stalls:int ->
   ?stall_steps:int ->
+  ?checkpoint_file:string ->
+  ?resume:bool ->
   ?progress:(stats -> unit) ->
   ?progress_every:int ->
   unit ->
@@ -99,17 +101,36 @@ val run :
     returned with [exhausted = true] instead of raising.
 
     [mode] (default {!Naive}) selects the search. [domains] (default 1)
-    runs the search over a frontier work queue across that many OCaml
+    runs the search over a frontier of subtree tasks across that many OCaml
     domains: the schedule tree is expanded level by level (to a small depth
-    cap) until it holds at least [4 * domains] subtree tasks, which workers
-    then pull from a shared queue. [mk] and [final] must then be safe to
-    call concurrently from several domains (building disjoint machines, as
-    the test harnesses do). The merged stats are deterministic — subtree
-    tallies are combined in frontier order — except that a budget trip is
-    resolved by the cross-domain race for the last admitted leaves. In
+    cap) until it holds at least [4 * domains] subtree tasks, seeded as
+    contiguous blocks into per-worker work-stealing deques — an owner
+    drains its block in frontier order (consecutive tasks share schedule
+    prefixes, so checkpointed replays stay cheap) and a worker whose block
+    runs dry steals from the far end of a victim's. [mk] and [final] must
+    then be safe to call concurrently from several domains (building
+    disjoint machines, as the test harnesses do). The merged stats are
+    deterministic — subtree tallies are combined in frontier order
+    regardless of which worker ran which task — except that a budget trip
+    is resolved by the cross-domain race for the last admitted leaves. In
     [Dpor] mode the per-task path counts can differ from the single-domain
     search (each frontier node explores all enabled branches — a sound
     superset of its computed persistent set); the verdict does not.
+
+    [checkpoint_file] (absent by default) journals frontier progress to
+    disk so a killed exploration can be resumed: a header fingerprinting
+    the exploration, the (deterministic) task list, and one flushed line
+    per finished task's tallies — crash-safe at any point, including
+    [kill -9] mid-write. Setting it forces the frontier driver (with a
+    task-count target independent of [domains]) even when [domains = 1].
+    With [resume = true] (default [false]; requires [checkpoint_file]) the
+    journal is loaded first: finished tasks' tallies are restored from disk
+    (their leaves counted back into the [max_paths] budget) and only the
+    remaining tasks are explored, so the final stats equal an uninterrupted
+    run's. The journal must record the same exploration — same
+    configuration and task list, which [mk] determinism guarantees —
+    otherwise [Invalid_argument] is raised; an absent or truncated journal
+    starts a fresh run (and rewrites the file).
 
     Replay machinery — none of it changes which schedules are explored;
     [paths]/[cut]/[pruned]/[violations] are bit-identical across every

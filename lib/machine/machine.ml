@@ -1,19 +1,46 @@
 type pid = int
 
+type engine = Fibers | Steps
+
 type status = Idle | Runnable | Terminated | Halted | Crashed of exn
 
 type step_result = [ `Progress | `Paused | `Done ]
 
+exception Invariant of { pid : int; slot : int; seq : int; what : string }
+
+let () =
+  Printexc.register_printer (function
+    | Invariant { pid; slot; seq; what } ->
+        Some
+          (Printf.sprintf
+             "Machine.Invariant(pid %d, slot %d, schedule index %d: %s)" pid
+             slot seq what)
+    | _ -> None)
+
 let no_plan : Fault.spec array = [||]
 let no_aborts : int array = [||]
 
+(* A parked process is either a fiber outcome (effect-handler backend) or a
+   step-machine outcome (closure backend); the constructors of the two
+   outcome types mirror each other, so every case analysis below treats them
+   through parallel arms. *)
+type pstate =
+  | P_idle
+  | F of Proc.outcome
+  | S of Proc.Step.outcome
+
+type prog =
+  | Prog_none
+  | Prog_fun of (unit -> unit)
+  | Prog_step of unit Proc.Step.t
+
 type slot = {
-  mutable outcome : Proc.outcome option;  (* None = idle *)
+  mutable state : pstate;
   mutable steps : int;
   mutable scheds : int;  (* scheduled slots consumed (steps + pauses + skips) *)
   mutable stall_left : int;  (* remaining no-op slots of an active stall *)
   mutable halted : bool;  (* crash-stopped by a fault; never runs again *)
-  mutable prog : (unit -> unit) option;  (* retained for [restart] *)
+  mutable prog : prog;  (* retained for [restart] *)
   (* Installed fault plan for this pid: Crash/Stall specs sorted by [at]
      with a cursor, Abort op indices sorted (consulted by the runner via
      [abort_due]). Like [prog], the plan survives [reset]/[restart]; only
@@ -26,6 +53,7 @@ type slot = {
 type t = {
   memory : Memory.t;
   trace : Trace.t;
+  engine : engine;
   procs : slot array;
   spawn_seq : int array;  (* pids in first-spawn order *)
   mutable nspawned : int;
@@ -42,19 +70,20 @@ type t = {
   mutable last_changed : bool;
 }
 
-let create ?(trace = Trace.Full) ~nprocs () =
+let create ?(trace = Trace.Full) ?(engine = Fibers) ~nprocs () =
   {
     memory = Memory.create ();
     trace = Trace.create ~sink:trace ();
+    engine;
     procs =
       Array.init nprocs (fun _ ->
           {
-            outcome = None;
+            state = P_idle;
             steps = 0;
             scheds = 0;
             stall_left = 0;
             halted = false;
-            prog = None;
+            prog = Prog_none;
             plan = no_plan;
             f_next = 0;
             abort_plan = no_aborts;
@@ -67,6 +96,7 @@ let create ?(trace = Trace.Full) ~nprocs () =
   }
 
 let nprocs t = Array.length t.procs
+let engine t = t.engine
 let memory t = t.memory
 let trace t = t.trace
 let alloc t ?owner ~name v = Memory.alloc t.memory ?owner ~name v
@@ -76,25 +106,51 @@ let slot t pid =
     invalid_arg "Machine: pid out of range";
   t.procs.(pid)
 
+let invariant t pid (s : slot) what =
+  raise (Invariant { pid; slot = s.scheds; seq = Trace.length t.trace; what })
+
 (* Record notes until the process is parked on a memory request, a pause, or
    has finished. Notes are instantaneous and free. *)
-let rec drain t pid (o : Proc.outcome) : Proc.outcome =
+let rec drain t pid (o : pstate) : pstate =
   match o with
-  | Proc.Wants_note (n, k) ->
+  | F (Proc.Wants_note (n, k)) ->
       Trace.add_note t.trace ~pid n;
-      drain t pid (Effect.Deep.continue k ())
+      drain t pid (F (Effect.Deep.continue k ()))
+  | S (Proc.Step.Wants_note (n, k)) ->
+      Trace.add_note t.trace ~pid n;
+      drain t pid (S (Proc.Step.resume_unit k))
   | o -> o
+
+let is_idle s = match s.state with P_idle -> true | _ -> false
+
+let pre_spawn t pid (s : slot) =
+  if not (is_idle s) then invalid_arg "Machine.spawn: process already spawned";
+  if t.base_cells < 0 then t.base_cells <- Memory.size t.memory;
+  if s.prog = Prog_none then begin
+    t.spawn_seq.(t.nspawned) <- pid;
+    t.nspawned <- t.nspawned + 1
+  end
 
 let spawn t pid f =
   let s = slot t pid in
-  if s.outcome <> None then invalid_arg "Machine.spawn: process already spawned";
-  if t.base_cells < 0 then t.base_cells <- Memory.size t.memory;
-  if s.prog = None then begin
-    t.spawn_seq.(t.nspawned) <- pid;
-    t.nspawned <- t.nspawned + 1
-  end;
-  s.prog <- Some f;
-  s.outcome <- Some (drain t pid (Proc.start f))
+  pre_spawn t pid s;
+  s.prog <- Prog_fun f;
+  s.state <- drain t pid (F (Proc.start f))
+
+(* A step program runs on whichever backend the machine was created with:
+   under [Steps] it is driven directly (no fiber is ever created for it);
+   under [Fibers] it is interpreted via {!Proc.Step.perform} inside an
+   effect-handler process, performing the same effects in the same order. *)
+let start_step t p =
+  match t.engine with
+  | Steps -> S (Proc.Step.start p)
+  | Fibers -> F (Proc.start (fun () -> Proc.Step.perform p))
+
+let spawn_step t pid p =
+  let s = slot t pid in
+  pre_spawn t pid s;
+  s.prog <- Prog_step p;
+  s.state <- drain t pid (start_step t p)
 
 let reset t =
   if t.base_cells >= 0 then Memory.truncate t.memory t.base_cells;
@@ -102,7 +158,7 @@ let reset t =
   Trace.clear t.trace;
   Array.iter
     (fun s ->
-      s.outcome <- None;
+      s.state <- P_idle;
       s.steps <- 0;
       s.scheds <- 0;
       s.stall_left <- 0;
@@ -116,8 +172,9 @@ let restart t =
     let pid = t.spawn_seq.(i) in
     let s = t.procs.(pid) in
     match s.prog with
-    | Some f -> s.outcome <- Some (drain t pid (Proc.start f))
-    | None -> assert false
+    | Prog_fun f -> s.state <- drain t pid (F (Proc.start f))
+    | Prog_step p -> s.state <- drain t pid (start_step t p)
+    | Prog_none -> assert false
   done
 
 (* ------------------------------------------------------------------ *)
@@ -181,8 +238,10 @@ let plan_due s =
   && (Array.unsafe_get s.plan s.f_next).Fault.at <= s.scheds
 
 let running s =
-  match s.outcome with
-  | Some (Proc.Wants_mem _ | Proc.Wants_pause _) -> not s.halted
+  match s.state with
+  | F (Proc.Wants_mem _ | Proc.Wants_pause _)
+  | S (Proc.Step.Wants_mem _ | Proc.Step.Wants_pause _) ->
+      not s.halted
   | _ -> false
 
 let inject_crash t pid =
@@ -205,20 +264,23 @@ let stalled t pid = (slot t pid).stall_left > 0 && running (slot t pid)
 
 let status t pid =
   let s = slot t pid in
-  match s.outcome with
-  | None -> Idle
-  | Some Proc.Done -> Terminated
-  | Some (Proc.Failed e) -> Crashed e
-  | Some (Proc.Wants_mem _ | Proc.Wants_pause _) ->
+  match s.state with
+  | P_idle -> Idle
+  | F Proc.Done | S Proc.Step.Done -> Terminated
+  | F (Proc.Failed e) | S (Proc.Step.Failed e) -> Crashed e
+  | F (Proc.Wants_mem _ | Proc.Wants_pause _)
+  | S (Proc.Step.Wants_mem _ | Proc.Step.Wants_pause _) ->
       if s.halted then Halted else Runnable
-  | Some (Proc.Wants_note _) -> assert false (* drained eagerly *)
+  | F (Proc.Wants_note _) | S (Proc.Step.Wants_note _) ->
+      invariant t pid s "undrained note outside a scheduled step"
 
 let poised t pid =
   let s = slot t pid in
   if s.halted then None
   else
-    match s.outcome with
-    | Some (Proc.Wants_mem (req, _)) -> Some req
+    match s.state with
+    | F (Proc.Wants_mem (req, _)) | S (Proc.Step.Wants_mem (req, _)) ->
+        Some req
     | _ -> None
 
 (* Allocation-free status probes for the schedule explorer's inner loop. *)
@@ -230,8 +292,8 @@ let any_crashed t =
   let rec go pid =
     pid < n
     &&
-    match t.procs.(pid).outcome with
-    | Some (Proc.Failed _) -> true
+    match t.procs.(pid).state with
+    | F (Proc.Failed _) | S (Proc.Step.Failed _) -> true
     | _ -> go (pid + 1)
   in
   go 0
@@ -245,11 +307,12 @@ let packed_pend t pid =
   let s = t.procs.(pid) in
   if s.halted then -2
   else
-    match s.outcome with
-    | Some (Proc.Wants_mem ({ Proc.addr; prim }, _)) ->
+    match s.state with
+    | F (Proc.Wants_mem ({ Proc.addr; prim }, _))
+    | S (Proc.Step.Wants_mem ({ Proc.addr; prim }, _)) ->
         if s.stall_left > 0 || plan_due s then -1
         else (addr lsl 1) lor (if Primitive.is_trivial prim then 1 else 0)
-    | Some (Proc.Wants_pause _) -> -1
+    | F (Proc.Wants_pause _) | S (Proc.Step.Wants_pause _) -> -1
     | _ -> -2
 
 (* Consume one scheduled slot of a running process with the fault layer:
@@ -270,7 +333,10 @@ let fault_slot t pid s =
         (* the trigger slot is the first of the [d] skipped ones *)
         s.stall_left <- s.stall_left + d - 1;
         Trace.add_note t.trace ~pid (Fault.Stalled { pid; steps = d })
-    | Fault.Abort -> assert false (* filtered out by [set_faults] *));
+    | Fault.Abort ->
+        (* filtered out by [set_faults]; reaching one means the plan was
+           corrupted behind the machine's back *)
+        invariant t pid s "Fault.Abort spec in the machine-level plan");
     true
   end
   else if s.stall_left > 0 then begin
@@ -280,37 +346,60 @@ let fault_slot t pid s =
   end
   else false
 
+(* Apply the pending primitive and account for it; shared by the two
+   backend arms of [step_slot]. *)
+let exec_mem t (s : slot) ~pid ~addr ~prim =
+  let resp =
+    if Trace.recording t.trace then begin
+      let resp, changed = Memory.apply t.memory ~pid addr prim in
+      Trace.add_mem t.trace ~pid ~addr prim resp changed;
+      t.last_changed <- changed;
+      resp
+    end
+    else begin
+      (* trace off: no entry is built, the event is only counted *)
+      Trace.tick t.trace;
+      t.last_changed <- false;
+      Memory.apply_fast t.memory ~pid addr prim
+    end
+  in
+  t.last_resp <- resp;
+  s.steps <- s.steps + 1;
+  s.scheds <- s.scheds + 1;
+  resp
+
 let step_slot t pid (s : slot) : step_result =
-  match s.outcome with
-  | None | Some Proc.Done | Some (Proc.Failed _) -> `Done
-  | Some (Proc.Wants_note _) -> assert false
-  | Some (Proc.Wants_pause _ | Proc.Wants_mem _) when s.halted -> `Done
-  | Some (Proc.Wants_pause _ | Proc.Wants_mem _) when fault_slot t pid s ->
+  match s.state with
+  | P_idle
+  | F (Proc.Done | Proc.Failed _)
+  | S (Proc.Step.Done | Proc.Step.Failed _) ->
+      `Done
+  | F (Proc.Wants_note _) | S (Proc.Step.Wants_note _) ->
+      invariant t pid s "undrained note outside a scheduled step"
+  | ( F (Proc.Wants_pause _ | Proc.Wants_mem _)
+    | S (Proc.Step.Wants_pause _ | Proc.Step.Wants_mem _) )
+    when s.halted ->
+      `Done
+  | ( F (Proc.Wants_pause _ | Proc.Wants_mem _)
+    | S (Proc.Step.Wants_pause _ | Proc.Step.Wants_mem _) )
+    when fault_slot t pid s ->
       (* the slot was consumed without a memory event, like a pause *)
       `Paused
-  | Some (Proc.Wants_pause k) ->
+  | F (Proc.Wants_pause k) ->
       s.scheds <- s.scheds + 1;
-      s.outcome <- Some (drain t pid (Effect.Deep.continue k ()));
+      s.state <- drain t pid (F (Effect.Deep.continue k ()));
       `Paused
-  | Some (Proc.Wants_mem ({ Proc.addr; prim }, k)) ->
-      let resp =
-        if Trace.recording t.trace then begin
-          let resp, changed = Memory.apply t.memory ~pid addr prim in
-          Trace.add_mem t.trace ~pid ~addr prim resp changed;
-          t.last_changed <- changed;
-          resp
-        end
-        else begin
-          (* trace off: no entry is built, the event is only counted *)
-          Trace.tick t.trace;
-          t.last_changed <- false;
-          Memory.apply_fast t.memory ~pid addr prim
-        end
-      in
-      t.last_resp <- resp;
-      s.steps <- s.steps + 1;
+  | S (Proc.Step.Wants_pause k) ->
       s.scheds <- s.scheds + 1;
-      s.outcome <- Some (drain t pid (Effect.Deep.continue k resp));
+      s.state <- drain t pid (S (Proc.Step.resume_unit k));
+      `Paused
+  | F (Proc.Wants_mem ({ Proc.addr; prim }, k)) ->
+      let resp = exec_mem t s ~pid ~addr ~prim in
+      s.state <- drain t pid (F (Effect.Deep.continue k resp));
+      `Progress
+  | S (Proc.Step.Wants_mem ({ Proc.addr; prim }, k)) ->
+      let resp = exec_mem t s ~pid ~addr ~prim in
+      s.state <- drain t pid (S (Proc.Step.resume k resp));
       `Progress
 
 let step t pid : step_result = step_slot t pid (slot t pid)
@@ -325,22 +414,34 @@ let last_changed t = t.last_changed
 
 let feed t pid resp ~changed =
   let s = t.procs.(pid) in
-  match s.outcome with
-  | Some (Proc.Wants_pause _ | Proc.Wants_mem _) when s.halted ->
+  match s.state with
+  | ( F (Proc.Wants_pause _ | Proc.Wants_mem _)
+    | S (Proc.Step.Wants_pause _ | Proc.Step.Wants_mem _) )
+    when s.halted ->
       invalid_arg "Machine.feed: process is halted"
-  | Some (Proc.Wants_pause _ | Proc.Wants_mem _) when fault_slot t pid s ->
+  | ( F (Proc.Wants_pause _ | Proc.Wants_mem _)
+    | S (Proc.Step.Wants_pause _ | Proc.Step.Wants_mem _) )
+    when fault_slot t pid s ->
       (* same gate as [step]: the logged position was a fault slot, which
          records the same notes and touches no memory *)
       ()
-  | Some (Proc.Wants_pause k) ->
+  | F (Proc.Wants_pause k) ->
       (* Pauses consume no event and record nothing, exactly like [step]. *)
       s.scheds <- s.scheds + 1;
-      s.outcome <- Some (drain t pid (Effect.Deep.continue k ()))
-  | Some (Proc.Wants_mem ({ Proc.addr; prim }, k)) ->
+      s.state <- drain t pid (F (Effect.Deep.continue k ()))
+  | S (Proc.Step.Wants_pause k) ->
+      s.scheds <- s.scheds + 1;
+      s.state <- drain t pid (S (Proc.Step.resume_unit k))
+  | F (Proc.Wants_mem ({ Proc.addr; prim }, k)) ->
       Trace.add_mem t.trace ~pid ~addr prim resp changed;
       s.steps <- s.steps + 1;
       s.scheds <- s.scheds + 1;
-      s.outcome <- Some (drain t pid (Effect.Deep.continue k resp))
+      s.state <- drain t pid (F (Effect.Deep.continue k resp))
+  | S (Proc.Step.Wants_mem ({ Proc.addr; prim }, k)) ->
+      Trace.add_mem t.trace ~pid ~addr prim resp changed;
+      s.steps <- s.steps + 1;
+      s.scheds <- s.scheds + 1;
+      s.state <- drain t pid (S (Proc.Step.resume k resp))
   | _ -> invalid_arg "Machine.feed: process not runnable"
 
 let run_while_forced t pid ~max ~on_step =
@@ -353,9 +454,7 @@ let run_while_forced t pid ~max ~on_step =
     | `Progress | `Paused ->
         incr n;
         on_step ());
-    match s.outcome with
-    | (Some (Proc.Wants_mem _ | Proc.Wants_pause _)) when not s.halted -> ()
-    | _ -> continue := false
+    if not (running s) then continue := false
   done;
   !n
 
@@ -367,12 +466,18 @@ let all_done t =
     (fun s ->
       s.halted
       ||
-      match s.outcome with
-      | None | Some Proc.Done | Some (Proc.Failed _) -> true
+      match s.state with
+      | P_idle
+      | F (Proc.Done | Proc.Failed _)
+      | S (Proc.Step.Done | Proc.Step.Failed _) ->
+          true
       | _ -> false)
     t.procs
 
 let check_crashes t =
   Array.iter
-    (fun s -> match s.outcome with Some (Proc.Failed e) -> raise e | _ -> ())
+    (fun s ->
+      match s.state with
+      | F (Proc.Failed e) | S (Proc.Step.Failed e) -> raise e
+      | _ -> ())
     t.procs

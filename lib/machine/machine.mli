@@ -11,6 +11,27 @@ type t
 
 type pid = int
 
+type engine =
+  | Fibers
+      (** processes as effect-handler coroutines — the reference backend,
+          able to run arbitrary direct-style closures ({!spawn}) and
+          step-machine programs (via {!Proc.Step.perform}) *)
+  | Steps
+      (** step-machine programs driven directly by closure application: no
+          fiber is created and no stack switch happens per step. Only
+          {!spawn_step} programs can run on this backend; {!spawn} always
+          uses fibers. Bit-identical to [Fibers] on traces, statuses, step
+          counts and fault semantics by construction. *)
+
+exception
+  Invariant of { pid : int; slot : int; seq : int; what : string }
+        (** A machine-internal invariant broke: [pid] is the process being
+            stepped, [slot] its consumed-slot count ({!scheds_of}), [seq]
+            the global schedule index ({!Trace.length}) at the failure. This
+            is raised (not asserted) so a long sweep's partial results
+            survive and the failing position is diagnosable; it indicates a
+            corrupted schedule or fault plan, not a user program bug. *)
+
 type status =
   | Idle  (** no program spawned *)
   | Runnable
@@ -20,13 +41,17 @@ type status =
 
 type step_result = [ `Progress | `Paused | `Done ]
 
-val create : ?trace:Trace.sink -> nprocs:int -> unit -> t
+val create : ?trace:Trace.sink -> ?engine:engine -> nprocs:int -> unit -> t
 (** [trace] selects the trace sink (default {!Trace.Full}). With
     {!Trace.Off} the machine's behaviour is identical — same memory states,
     responses and step counts — but no trace entry is allocated per step;
-    offline trace analyses are then unavailable. *)
+    offline trace analyses are then unavailable.
+
+    [engine] (default {!Fibers}) selects the process backend for
+    {!spawn_step} programs; executions are bit-identical across engines. *)
 
 val nprocs : t -> int
+val engine : t -> engine
 val memory : t -> Memory.t
 val trace : t -> Trace.t
 
@@ -35,7 +60,17 @@ val alloc : t -> ?owner:pid -> name:string -> Value.t -> Memory.addr
 
 val spawn : t -> pid -> (unit -> unit) -> unit
 (** Install and start [pid]'s program; runs it up to its first effect.
-    Raises [Invalid_argument] if [pid] already has a program. *)
+    Raises [Invalid_argument] if [pid] already has a program. Direct-style
+    closures always run on the fiber backend, whatever the engine. *)
+
+val spawn_step : t -> pid -> unit Proc.Step.t -> unit
+(** Install and start a step-machine program on the machine's engine:
+    driven directly under {!Steps}, interpreted via {!Proc.Step.perform}
+    inside a fiber under {!Fibers} — same effects, same order, either way.
+    The program value is retained for {!restart}, which re-runs it from
+    scratch; its construction must defer side effects per the
+    {!Proc.Step.suspend} discipline. Raises [Invalid_argument] if [pid]
+    already has a program. *)
 
 val reset : t -> unit
 (** Return the machine to its post-allocation initial state in place: every

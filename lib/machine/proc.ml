@@ -51,3 +51,97 @@ let faa a k = Value.to_int (apply a (Primitive.Faa k))
 let fas a v = apply a (Primitive.Fas v)
 let ll a = apply a Primitive.Ll
 let sc a v = Value.to_bool (apply a (Primitive.Sc v))
+
+(* ------------------------------------------------------------------ *)
+(* Defunctionalized step machines.                                     *)
+(*                                                                     *)
+(* A [Step] process is an explicit value: running it one step applies  *)
+(* an ordinary OCaml closure to the pending response, no fiber switch  *)
+(* involved. The [outcome] constructors mirror the fiber outcomes      *)
+(* above one for one, so the machine treats either backend through the *)
+(* same case analysis; [perform] interprets a step program inside a    *)
+(* fiber, performing the same effects in the same order, which is what *)
+(* makes the two backends bit-identical by construction.               *)
+(* ------------------------------------------------------------------ *)
+
+module Step = struct
+  type outcome =
+    | Done
+    | Failed of exn
+    | Wants_mem of request * (Value.t -> outcome)
+    | Wants_note of Trace.note * (unit -> outcome)
+    | Wants_pause of (unit -> outcome)
+
+  type 'a t = ('a -> outcome) -> outcome
+
+  let return x k = k x
+  let bind m f k = m (fun x -> f x k)
+  let map f m k = m (fun x -> k (f x))
+  let ( let* ) = bind
+  let suspend f k = f () k
+  let apply addr prim k = Wants_mem ({ addr; prim }, k)
+  let note n k = Wants_note (n, k)
+  let pause k = Wants_pause k
+  let read a k = Wants_mem ({ addr = a; prim = Primitive.Read }, k)
+  let read_int a k =
+    Wants_mem ({ addr = a; prim = Primitive.Read }, fun v -> k (Value.to_int v))
+  let read_bool a k =
+    Wants_mem
+      ({ addr = a; prim = Primitive.Read }, fun v -> k (Value.to_bool v))
+  let write a v k =
+    Wants_mem ({ addr = a; prim = Primitive.Write v }, fun _ -> k ())
+  let cas a ~expected ~desired k =
+    Wants_mem
+      ( { addr = a; prim = Primitive.Cas { expected; desired } },
+        fun v -> k (Value.to_bool v) )
+  let tas a k =
+    Wants_mem ({ addr = a; prim = Primitive.Tas }, fun v -> k (Value.to_bool v))
+  let faa a n k =
+    Wants_mem
+      ({ addr = a; prim = Primitive.Faa n }, fun v -> k (Value.to_int v))
+  let fas a v k = Wants_mem ({ addr = a; prim = Primitive.Fas v }, k)
+  let ll a k = Wants_mem ({ addr = a; prim = Primitive.Ll }, k)
+  let sc a v k =
+    Wants_mem ({ addr = a; prim = Primitive.Sc v }, fun r -> k (Value.to_bool r))
+
+  let rec iter f = function
+    | [] -> return ()
+    | x :: rest -> bind (f x) (fun () -> iter f rest)
+
+  let rec for_ lo hi body =
+    if lo > hi then return ()
+    else bind (body lo) (fun () -> for_ (lo + 1) hi body)
+
+  let rec loop f s =
+    bind (f s) (function `Stop r -> return r | `Continue s' -> loop f s')
+
+  let start (p : unit t) : outcome =
+    try p (fun () -> Done) with e -> Failed e
+
+  let resume (k : Value.t -> outcome) (v : Value.t) : outcome =
+    try k v with e -> Failed e
+
+  let resume_unit (k : unit -> outcome) : outcome =
+    try k () with e -> Failed e
+
+  let perform (type a) (p : a t) : a =
+    let cell : a option ref = ref None in
+    let rec drive = function
+      | Done -> ()
+      | Failed e -> raise e
+      | Wants_mem (req, k) -> drive (k (Effect.perform (Apply req)))
+      | Wants_note (n, k) ->
+          Effect.perform (Note n);
+          drive (k ())
+      | Wants_pause k ->
+          Effect.perform Pause;
+          drive (k ())
+    in
+    drive
+      (p (fun x ->
+           cell := Some x;
+           Done));
+    match !cell with
+    | Some x -> x
+    | None -> invalid_arg "Proc.Step.perform: program did not deliver a value"
+end

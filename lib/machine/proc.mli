@@ -47,3 +47,90 @@ val faa : Memory.addr -> int -> int
 val fas : Memory.addr -> Value.t -> Value.t
 val ll : Memory.addr -> Value.t
 val sc : Memory.addr -> Value.t -> bool
+
+(** Processes as defunctionalized step machines.
+
+    A [Step.t] program is an explicit state value in continuation-passing
+    style: running it yields an {!Step.outcome} whose [Wants_*] constructors
+    carry a plain OCaml closure instead of an effect continuation, so the
+    scheduler advances the process with an ordinary (multi-shot, exception-
+    catching) function call — no fiber switch per step. The constructors
+    mirror {!outcome} one for one, and {!Step.perform} interprets a step
+    program inside an effect-handler process performing the identical effect
+    sequence, so a step program run under either machine backend produces
+    bit-identical traces by construction (the fiber path remains the
+    reference semantics).
+
+    Construction discipline: a combinator expression is evaluated the moment
+    it is applied, so any side effect outside a [bind] body (or a
+    {!Step.suspend} thunk) runs at program-{e construction} time and would
+    not replay under {!Machine.restart}. Operations that allocate or mutate
+    (transaction handles, counters) must therefore live inside
+    [suspend]/[bind] bodies, exactly as closure programs must not capture
+    external mutable state. *)
+
+module Step : sig
+  type outcome =
+    | Done
+    | Failed of exn
+    | Wants_mem of request * (Value.t -> outcome)
+    | Wants_note of Trace.note * (unit -> outcome)
+    | Wants_pause of (unit -> outcome)
+
+  type 'a t = ('a -> outcome) -> outcome
+  (** A program delivering an ['a], as a function of its continuation. *)
+
+  val return : 'a -> 'a t
+  val bind : 'a t -> ('a -> 'b t) -> 'b t
+  val map : ('a -> 'b) -> 'a t -> 'b t
+  val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+
+  val suspend : (unit -> 'a t) -> 'a t
+  (** Defer construction (and its side effects) to run time. Wrap any
+      operation whose construction allocates or mutates, so re-running the
+      program ({!Machine.restart}) re-executes it. *)
+
+  val apply : Memory.addr -> Primitive.t -> Value.t t
+  val note : Trace.note -> unit t
+  val pause : unit t
+
+  (** Typed convenience wrappers around {!apply}, mirroring the direct-style
+      operations above. *)
+
+  val read : Memory.addr -> Value.t t
+  val read_int : Memory.addr -> int t
+  val read_bool : Memory.addr -> bool t
+  val write : Memory.addr -> Value.t -> unit t
+  val cas : Memory.addr -> expected:Value.t -> desired:Value.t -> bool t
+  val tas : Memory.addr -> bool t
+  val faa : Memory.addr -> int -> int t
+  val fas : Memory.addr -> Value.t -> Value.t t
+  val ll : Memory.addr -> Value.t t
+  val sc : Memory.addr -> Value.t -> bool t
+
+  (** Loop combinators. *)
+
+  val iter : ('a -> unit t) -> 'a list -> unit t
+  val for_ : int -> int -> (int -> unit t) -> unit t
+  (** [for_ lo hi body] runs [body lo .. body hi] inclusive. *)
+
+  val loop : ('s -> [ `Continue of 's | `Stop of 'r ] t) -> 's -> 'r t
+  (** Tail-recursive state loop: iterate [f] from [s] until it stops. *)
+
+  val start : unit t -> outcome
+  (** Run a program until its first effect (or completion); an exception
+      raised before the first effect becomes [Failed]. *)
+
+  val resume : (Value.t -> outcome) -> Value.t -> outcome
+  (** Resume a [Wants_mem] closure with a response, catching exceptions into
+      [Failed] exactly as the fiber handler does. *)
+
+  val resume_unit : (unit -> outcome) -> outcome
+  (** Resume a [Wants_note]/[Wants_pause] closure. *)
+
+  val perform : 'a t -> 'a
+  (** Interpret a step program inside an effect-handler process (callable
+      only from a process body): performs {!Apply}/{!Note}/{!Pause} for each
+      [Wants_*] in program order. This is the bridge that runs step-form
+      code on the fiber backend. *)
+end

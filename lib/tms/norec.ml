@@ -1,103 +1,155 @@
 open Ptm_machine
+module Sm = Proc.Step
 
-let name = "norec"
+let ( let* ) = Sm.bind
 
-let props =
-  {
-    Ptm_core.Tm_intf.opaque = true;
-    weak_dap = false;
-    invisible_reads = true;
-    weak_invisible_reads = true;
-    progressive = true;
-    strongly_progressive = false;
+(* Step-form short-circuiting [List.for_all]. *)
+let rec forall f = function
+  | [] -> Sm.return true
+  | x :: rest ->
+      let* ok = f x in
+      if ok then forall f rest else Sm.return false
+
+(* The implementation is written once, in step-machine form; the
+   direct-style interface below is derived from it via [Tm_intf.Of_step],
+   so both forms execute the identical event sequence. *)
+module Stepwise = struct
+  let name = "norec"
+
+  let props =
+    {
+      Ptm_core.Tm_intf.opaque = true;
+      weak_dap = false;
+      invisible_reads = true;
+      weak_invisible_reads = true;
+      progressive = true;
+      strongly_progressive = false;
+    }
+
+  type t = { seq : Memory.addr; data : Memory.addr array }
+
+  let create machine ~nobjs =
+    {
+      seq = Machine.alloc machine ~name:"norec.seq" (Value.Int 0);
+      data =
+        Orec.alloc_array machine ~prefix:"norec.data" ~nobjs
+          ~init:(Value.Int Ptm_core.Tm_intf.init_value);
+    }
+
+  type tx = {
+    mutable snap : int;  (* -1 until initialized *)
+    mutable rset : (int * int) list;  (* obj -> value read *)
+    mutable wbuf : (int * int) list;
   }
 
-type t = { seq : Memory.addr; data : Memory.addr array }
+  let fresh _t ~pid:_ ~id:_ = { snap = -1; rset = []; wbuf = [] }
 
-let create machine ~nobjs =
-  {
-    seq = Machine.alloc machine ~name:"norec.seq" (Value.Int 0);
-    data =
-      Orec.alloc_array machine ~prefix:"norec.data" ~nobjs
-        ~init:(Value.Int Ptm_core.Tm_intf.init_value);
-  }
-
-type tx = {
-  mutable snap : int;  (* -1 until initialized *)
-  mutable rset : (int * int) list;  (* obj -> value read *)
-  mutable wbuf : (int * int) list;
-}
-
-let fresh _t ~pid:_ ~id:_ = { snap = -1; rset = []; wbuf = [] }
-
-let rec wait_even t =
-  let s = Proc.read_int t.seq in
-  if s land 1 = 1 then wait_even t else s
-
-(* Value-based validation: wait for an even sequence number, re-read every
-   read-set entry, confirm the sequence number did not move. Returns the new
-   consistent snapshot, or None if an observed value changed (a conflict). *)
-let rec validate t tx =
-  let s = wait_even t in
-  if List.for_all (fun (x, v) -> Proc.read_int t.data.(x) = v) tx.rset then
-    if Proc.read_int t.seq = s then Some s else validate t tx
-  else None
-
-let read t tx x =
-  match List.assoc_opt x tx.wbuf with
-  | Some v -> Ok v
-  | None -> (
-      match List.assoc_opt x tx.rset with
-      | Some v -> Ok v
-      | None ->
-          if tx.snap < 0 then tx.snap <- wait_even t;
-          let rec go () =
-            let v = Proc.read_int t.data.(x) in
-            let s = Proc.read_int t.seq in
-            if s = tx.snap then begin
-              tx.rset <- (x, v) :: tx.rset;
-              Ok v
-            end
-            else
-              match validate t tx with
-              | None -> Error `Abort
-              | Some s' ->
-                  tx.snap <- s';
-                  go ()
-          in
-          go ())
-
-let write _t tx x v =
-  tx.wbuf <- (x, v) :: tx.wbuf;
-  Ok ()
-
-let try_commit t tx =
-  if tx.wbuf = [] then Ok ()
-  else begin
-    if tx.snap < 0 then tx.snap <- wait_even t;
-    let rec acquire () =
-      if
-        Proc.cas t.seq ~expected:(Value.Int tx.snap)
-          ~desired:(Value.Int (tx.snap + 1))
-      then true
-      else
-        match validate t tx with
-        | None -> false
-        | Some s ->
-            tx.snap <- s;
-            acquire ()
+  let wait_even t =
+    Sm.suspend @@ fun () ->
+    let rec go () =
+      let* s = Sm.read_int t.seq in
+      if s land 1 = 1 then go () else Sm.return s
     in
-    if not (acquire ()) then Error `Abort
-    else begin
-      let seen = Hashtbl.create 8 in
-      List.iter
-        (fun (x, v) ->
-          if not (Hashtbl.mem seen x) then begin
-            Hashtbl.add seen x ();
-            Proc.write t.data.(x) (Value.Int v)
-          end)
-        tx.wbuf;
-      Proc.write t.seq (Value.Int (tx.snap + 2));
-      Ok ()
-    end
-  end
+    go ()
+
+  (* Value-based validation: wait for an even sequence number, re-read every
+     read-set entry, confirm the sequence number did not move. Returns the
+     new consistent snapshot, or None if an observed value changed (a
+     conflict). *)
+  let validate t tx =
+    Sm.suspend @@ fun () ->
+    let rec go () =
+      let* s = wait_even t in
+      let* unchanged =
+        forall
+          (fun (x, v) ->
+            let* v' = Sm.read_int t.data.(x) in
+            Sm.return (v' = v))
+          tx.rset
+      in
+      if unchanged then
+        let* s' = Sm.read_int t.seq in
+        if s' = s then Sm.return (Some s) else go ()
+      else Sm.return None
+    in
+    go ()
+
+  (* Initialize the snapshot on the transaction's first shared access. *)
+  let ensure_snap t tx =
+    Sm.suspend @@ fun () ->
+    if tx.snap >= 0 then Sm.return ()
+    else
+      let* s = wait_even t in
+      tx.snap <- s;
+      Sm.return ()
+
+  let read t tx x =
+    Sm.suspend @@ fun () ->
+    match List.assoc_opt x tx.wbuf with
+    | Some v -> Sm.return (Ok v)
+    | None -> (
+        match List.assoc_opt x tx.rset with
+        | Some v -> Sm.return (Ok v)
+        | None ->
+            let* () = ensure_snap t tx in
+            let rec go () =
+              let* v = Sm.read_int t.data.(x) in
+              let* s = Sm.read_int t.seq in
+              if s = tx.snap then begin
+                tx.rset <- (x, v) :: tx.rset;
+                Sm.return (Ok v)
+              end
+              else
+                let* r = validate t tx in
+                match r with
+                | None -> Sm.return (Error `Abort)
+                | Some s' ->
+                    tx.snap <- s';
+                    go ()
+            in
+            go ())
+
+  let write _t tx x v =
+    Sm.suspend @@ fun () ->
+    tx.wbuf <- (x, v) :: tx.wbuf;
+    Sm.return (Ok ())
+
+  let try_commit t tx =
+    Sm.suspend @@ fun () ->
+    if tx.wbuf = [] then Sm.return (Ok ())
+    else
+      let* () = ensure_snap t tx in
+      let rec acquire () =
+        let* won =
+          Sm.cas t.seq ~expected:(Value.Int tx.snap)
+            ~desired:(Value.Int (tx.snap + 1))
+        in
+        if won then Sm.return true
+        else
+          let* r = validate t tx in
+          match r with
+          | None -> Sm.return false
+          | Some s ->
+              tx.snap <- s;
+              acquire ()
+      in
+      let* acquired = acquire () in
+      if not acquired then Sm.return (Error `Abort)
+      else begin
+        let seen = Hashtbl.create 8 in
+        let* () =
+          Sm.iter
+            (fun (x, v) ->
+              if Hashtbl.mem seen x then Sm.return ()
+              else begin
+                Hashtbl.add seen x ();
+                Sm.write t.data.(x) (Value.Int v)
+              end)
+            tx.wbuf
+        in
+        let* () = Sm.write t.seq (Value.Int (tx.snap + 2)) in
+        Sm.return (Ok ())
+      end
+end
+
+include Ptm_core.Tm_intf.Of_step (Stepwise)

@@ -1,253 +1,331 @@
 open Ptm_machine
+module Sm = Proc.Step
 
-let name = "ostm"
+let ( let* ) = Sm.bind
 
-let props =
-  {
-    Ptm_core.Tm_intf.opaque = true;
-    weak_dap = true;
-    invisible_reads = false;
-    weak_invisible_reads = true;
-    progressive = true;
-    strongly_progressive = false;
-  }
+(* Step-form short-circuiting [List.for_all]. *)
+let rec forall f = function
+  | [] -> Sm.return true
+  | x :: rest ->
+      let* ok = f x in
+      if ok then forall f rest else Sm.return false
 
-(* Header encoding: a clean object is Pair (Int ver, Int value); an object
-   owned by a committing transaction is Int desc, where [desc] is the
-   address of the descriptor's status cell. The descriptor occupies three
-   consecutively allocated cells:
+(* The implementation is written once, in step-machine form; the
+   direct-style interface below is derived from it via [Tm_intf.Of_step],
+   so both forms execute the identical event sequence. *)
+module Stepwise = struct
+  let name = "ostm"
 
-     desc     : status, Int (0 undecided | 1 successful | 2 failed)
-     desc + 1 : write list, nested pairs of (x, (over, (oval, nval)))
-     desc + 2 : read list, nested pairs of (x, ver)
+  let props =
+    {
+      Ptm_core.Tm_intf.opaque = true;
+      weak_dap = true;
+      invisible_reads = false;
+      weak_invisible_reads = true;
+      progressive = true;
+      strongly_progressive = false;
+    }
 
-   The lists are written before the descriptor is published and never
-   mutated afterwards, so helpers can re-read them idempotently. *)
+  (* Header encoding: a clean object is Pair (Int ver, Int value); an object
+     owned by a committing transaction is Int desc, where [desc] is the
+     address of the descriptor's status cell. The descriptor occupies three
+     consecutively allocated cells:
 
-let undecided = 0
-let successful = 1
-let failed = 2
+       desc     : status, Int (0 undecided | 1 successful | 2 failed)
+       desc + 1 : write list, nested pairs of (x, (over, (oval, nval)))
+       desc + 2 : read list, nested pairs of (x, ver)
 
-let clean ~ver ~v = Value.Pair (Value.Int ver, Value.Int v)
+     The lists are written before the descriptor is published and never
+     mutated afterwards, so helpers can re-read them idempotently. *)
 
-type header = Clean of int * int | Owned of int
+  let undecided = 0
+  let successful = 1
+  let failed = 2
 
-let header_of = function
-  | Value.Pair (Value.Int ver, Value.Int v) -> Clean (ver, v)
-  | Value.Int d -> Owned d
-  | v -> invalid_arg ("Ostm: malformed header " ^ Value.show v)
+  let clean ~ver ~v = Value.Pair (Value.Int ver, Value.Int v)
 
-let rec encode_writes = function
-  | [] -> Value.Unit
-  | (x, (over, oval, nval)) :: rest ->
-      Value.Pair
+  type header = Clean of int * int | Owned of int
+
+  let header_of = function
+    | Value.Pair (Value.Int ver, Value.Int v) -> Clean (ver, v)
+    | Value.Int d -> Owned d
+    | v -> invalid_arg ("Ostm: malformed header " ^ Value.show v)
+
+  let rec encode_writes = function
+    | [] -> Value.Unit
+    | (x, (over, oval, nval)) :: rest ->
+        Value.Pair
+          ( Value.Pair
+              ( Value.Int x,
+                Value.Pair
+                  (Value.Int over, Value.Pair (Value.Int oval, Value.Int nval))
+              ),
+            encode_writes rest )
+
+  let rec decode_writes = function
+    | Value.Unit -> []
+    | Value.Pair
         ( Value.Pair
             ( Value.Int x,
-              Value.Pair
-                (Value.Int over, Value.Pair (Value.Int oval, Value.Int nval))
+              Value.Pair (Value.Int over, Value.Pair (Value.Int oval, Value.Int nval))
             ),
-          encode_writes rest )
+          rest ) ->
+        (x, (over, oval, nval)) :: decode_writes rest
+    | v -> invalid_arg ("Ostm: malformed write list " ^ Value.show v)
 
-let rec decode_writes = function
-  | Value.Unit -> []
-  | Value.Pair
-      ( Value.Pair
-          ( Value.Int x,
-            Value.Pair (Value.Int over, Value.Pair (Value.Int oval, Value.Int nval))
-          ),
-        rest ) ->
-      (x, (over, oval, nval)) :: decode_writes rest
-  | v -> invalid_arg ("Ostm: malformed write list " ^ Value.show v)
+  let rec encode_reads = function
+    | [] -> Value.Unit
+    | (x, ver) :: rest ->
+        Value.Pair (Value.Pair (Value.Int x, Value.Int ver), encode_reads rest)
 
-let rec encode_reads = function
-  | [] -> Value.Unit
-  | (x, ver) :: rest ->
-      Value.Pair (Value.Pair (Value.Int x, Value.Int ver), encode_reads rest)
+  let rec decode_reads = function
+    | Value.Unit -> []
+    | Value.Pair (Value.Pair (Value.Int x, Value.Int ver), rest) ->
+        (x, ver) :: decode_reads rest
+    | v -> invalid_arg ("Ostm: malformed read list " ^ Value.show v)
 
-let rec decode_reads = function
-  | Value.Unit -> []
-  | Value.Pair (Value.Pair (Value.Int x, Value.Int ver), rest) ->
-      (x, ver) :: decode_reads rest
-  | v -> invalid_arg ("Ostm: malformed read list " ^ Value.show v)
+  type t = { headers : Memory.addr array; machine : Machine.t }
 
-type t = { headers : Memory.addr array; machine : Machine.t }
+  let create machine ~nobjs =
+    {
+      headers =
+        Array.init nobjs (fun i ->
+            Machine.alloc machine
+              ~name:(Printf.sprintf "ostm.h[%d]" i)
+              (clean ~ver:0 ~v:Ptm_core.Tm_intf.init_value));
+      machine;
+    }
 
-let create machine ~nobjs =
-  {
-    headers =
-      Array.init nobjs (fun i ->
-          Machine.alloc machine
-            ~name:(Printf.sprintf "ostm.h[%d]" i)
-            (clean ~ver:0 ~v:Ptm_core.Tm_intf.init_value));
-    machine;
+  type tx = {
+    id : int;
+    mutable rset : (int * (int * int)) list;  (* obj -> (ver, value) *)
+    mutable wbuf : (int * int) list;  (* latest first *)
   }
 
-type tx = {
-  id : int;
-  mutable rset : (int * (int * int)) list;  (* obj -> (ver, value) *)
-  mutable wbuf : (int * int) list;  (* latest first *)
-}
+  let fresh _t ~pid:_ ~id = { id; rset = []; wbuf = [] }
 
-let fresh _t ~pid:_ ~id = { id; rset = []; wbuf = [] }
+  (* Suspended frames of in-progress completions: finding a header owned by
+     a rival used to recurse into the rival's descriptor (with a depth-64
+     guard turning long chains into a crash); the helping loop below is its
+     defunctionalization — the frame records exactly where the outer
+     completion resumes once the rival is driven to completion, so helping
+     chains of any length run in constant stack. *)
+  type kont =
+    | K_acquire of
+        int  (* desc *)
+        * (int * (int * int * int)) list  (* full write list, for release *)
+        * (int * int) list  (* read list, for the check phase *)
+        * (int * (int * int * int)) list  (* pending acquire entries *)
+    | K_check of
+        int  (* desc *)
+        * (int * (int * int * int)) list  (* full write list, for release *)
+        * (int * int) list  (* pending read-check entries *)
 
-(* Drive the commit of the descriptor at [desc] to completion. Safe to run
-   concurrently by any number of helpers: every step is an idempotent CAS.
-   Sorted acquisition bounds the helping chains; the depth guard converts a
-   protocol bug into a crash instead of a hang. *)
-let rec complete t ~depth desc =
-  if depth > 64 then failwith "Ostm.complete: helping recursion too deep";
-  let writes = decode_writes (Proc.read (desc + 1)) in
-  let reads = decode_reads (Proc.read (desc + 2)) in
-  (* acquire phase *)
-  let rec acquire = function
-    | [] -> ()
-    | (x, (over, oval, _)) :: rest -> (
-        if Proc.read_int desc <> undecided then () (* already decided *)
-        else
-          match header_of (Proc.read t.headers.(x)) with
-          | Owned d when d = desc -> acquire rest
-          | Owned d ->
-              complete t ~depth:(depth + 1) d;
-              acquire ((x, (over, oval, 0)) :: rest)
-          | Clean (ver, v) ->
-              if ver = over && v = oval then begin
-                if
-                  Proc.cas t.headers.(x)
-                    ~expected:(clean ~ver:over ~v:oval)
-                    ~desired:(Value.Int desc)
-                then acquire rest
-                else acquire ((x, (over, oval, 0)) :: rest)
-              end
-              else
-                (* the object moved on: this commit must fail *)
-                ignore
-                  (Proc.cas desc ~expected:(Value.Int undecided)
-                     ~desired:(Value.Int failed)))
-  in
-  acquire writes;
-  (* Read-check phase. A read-write conflict must NOT be resolved by
-     helping: the rival may itself be read-checking an object we own, and
-     mutual helping cycles (sorted acquisition only orders write-write
-     conflicts). Following Fraser's FSTM, an undecided rival is aborted
-     with a status CAS; completing it afterwards only drives its release
-     phase, which cannot recurse. *)
-  let rec check = function
-    | [] -> ()
-    | (x, ver) :: rest -> (
-        if Proc.read_int desc <> undecided then ()
-        else
-          match header_of (Proc.read t.headers.(x)) with
-          | Owned d when d = desc -> check rest
-          | Owned d ->
-              if Proc.read_int d = undecided then
-                ignore
-                  (Proc.cas d ~expected:(Value.Int undecided)
-                     ~desired:(Value.Int failed));
-              complete t ~depth:(depth + 1) d;
-              check ((x, ver) :: rest)
-          | Clean (ver', _) ->
-              if ver' = ver then check rest
-              else
-                ignore
-                  (Proc.cas desc ~expected:(Value.Int undecided)
-                     ~desired:(Value.Int failed)))
-  in
-  check reads;
-  (* decide *)
-  ignore
-    (Proc.cas desc ~expected:(Value.Int undecided)
-       ~desired:(Value.Int successful));
-  (* release phase *)
-  let outcome = Proc.read_int desc in
-  List.iter
-    (fun (x, (over, oval, nval)) ->
-      let resolution =
-        if outcome = successful then clean ~ver:(over + 1) ~v:nval
-        else clean ~ver:over ~v:oval
+  (* Drive the commit of the descriptor at [desc0] to completion. Safe to
+     run concurrently by any number of helpers: every step is an idempotent
+     CAS. Sorted acquisition orders write-write helping; read-write rivals
+     are aborted rather than helped forward (see the check phase). *)
+  let complete t desc0 =
+    Sm.suspend @@ fun () ->
+    let rec load d stack =
+      let* w = Sm.read (d + 1) in
+      let* r = Sm.read (d + 2) in
+      let writes = decode_writes w in
+      acquire d writes (decode_reads r) writes stack
+    (* acquire phase *)
+    and acquire d writes reads pending stack =
+      match pending with
+      | [] -> check d writes reads stack
+      | (x, (over, oval, _)) :: rest -> (
+          let* st = Sm.read_int d in
+          if st <> undecided then check d writes reads stack
+            (* already decided: skip straight to the decide/release pass *)
+          else
+            let* h = Sm.read t.headers.(x) in
+            match header_of h with
+            | Owned dd when dd = d -> acquire d writes reads rest stack
+            | Owned dd ->
+                (* help the rival first; resume this entry afterwards *)
+                load dd
+                  (K_acquire (d, writes, reads, (x, (over, oval, 0)) :: rest)
+                  :: stack)
+            | Clean (ver, v) ->
+                if ver = over && v = oval then
+                  let* won =
+                    Sm.cas t.headers.(x)
+                      ~expected:(clean ~ver:over ~v:oval)
+                      ~desired:(Value.Int d)
+                  in
+                  if won then acquire d writes reads rest stack
+                  else
+                    acquire d writes reads ((x, (over, oval, 0)) :: rest) stack
+                else
+                  (* the object moved on: this commit must fail *)
+                  let* _ =
+                    Sm.cas d ~expected:(Value.Int undecided)
+                      ~desired:(Value.Int failed)
+                  in
+                  check d writes reads stack)
+    (* Read-check phase. A read-write conflict must NOT be resolved by
+       helping: the rival may itself be read-checking an object we own, and
+       mutual helping cycles (sorted acquisition only orders write-write
+       conflicts). Following Fraser's FSTM, an undecided rival is aborted
+       with a status CAS; completing it afterwards only drives its release
+       phase, which cannot grow the helping chain. *)
+    and check d writes pending stack =
+      match pending with
+      | [] -> decide d writes stack
+      | (x, ver) :: rest -> (
+          let* st = Sm.read_int d in
+          if st <> undecided then decide d writes stack
+          else
+            let* h = Sm.read t.headers.(x) in
+            match header_of h with
+            | Owned dd when dd = d -> check d writes rest stack
+            | Owned dd ->
+                let* std = Sm.read_int dd in
+                let* () =
+                  if std = undecided then
+                    let* _ =
+                      Sm.cas dd ~expected:(Value.Int undecided)
+                        ~desired:(Value.Int failed)
+                    in
+                    Sm.return ()
+                  else Sm.return ()
+                in
+                load dd (K_check (d, writes, (x, ver) :: rest) :: stack)
+            | Clean (ver', _) ->
+                if ver' = ver then check d writes rest stack
+                else
+                  let* _ =
+                    Sm.cas d ~expected:(Value.Int undecided)
+                      ~desired:(Value.Int failed)
+                  in
+                  decide d writes stack)
+    (* decide *)
+    and decide d writes stack =
+      let* _ =
+        Sm.cas d ~expected:(Value.Int undecided)
+          ~desired:(Value.Int successful)
       in
-      ignore
-        (Proc.cas t.headers.(x) ~expected:(Value.Int desc) ~desired:resolution))
-    writes
-
-(* Read a stable (clean) header, helping any commit in progress. *)
-let rec stable_header t x =
-  match header_of (Proc.read t.headers.(x)) with
-  | Clean (ver, v) -> (ver, v)
-  | Owned d ->
-      complete t ~depth:0 d;
-      stable_header t x
-
-let valid t tx =
-  List.for_all
-    (fun (x, (ver, _)) ->
-      let ver', _ = stable_header t x in
-      ver' = ver)
-    tx.rset
-
-let read t tx x =
-  match List.assoc_opt x tx.wbuf with
-  | Some v -> Ok v
-  | None -> (
-      match List.assoc_opt x tx.rset with
-      | Some (_, v) -> Ok v
-      | None ->
-          let ver, v = stable_header t x in
-          if not (valid t tx) then Error `Abort
-          else begin
-            tx.rset <- (x, (ver, v)) :: tx.rset;
-            Ok v
-          end)
-
-let write _t tx x v =
-  tx.wbuf <- (x, v) :: tx.wbuf;
-  Ok ()
-
-let try_commit t tx =
-  if tx.wbuf = [] then if valid t tx then Ok () else Error `Abort
-  else begin
-    (* Snapshot expected old values for the write set (helping rivals as
-       needed), reusing read-set knowledge where available. *)
-    let wset = List.sort_uniq compare (List.map fst tx.wbuf) in
-    let writes =
-      List.map
-        (fun x ->
-          let over, oval =
-            match List.assoc_opt x tx.rset with
-            | Some (ver, v) -> (ver, v)
-            | None -> stable_header t x
+      let* outcome = Sm.read_int d in
+      release d writes outcome stack
+    (* release phase *)
+    and release d writes outcome stack =
+      match writes with
+      | [] -> pop stack
+      | (x, (over, oval, nval)) :: rest ->
+          let resolution =
+            if outcome = successful then clean ~ver:(over + 1) ~v:nval
+            else clean ~ver:over ~v:oval
           in
-          (x, (over, oval, List.assoc x tx.wbuf)))
-        wset
+          let* _ =
+            Sm.cas t.headers.(x) ~expected:(Value.Int d) ~desired:resolution
+          in
+          release d rest outcome stack
+    (* a finished completion resumes the helper that needed it, if any *)
+    and pop = function
+      | [] -> Sm.return ()
+      | K_acquire (d, writes, reads, pending) :: stack ->
+          acquire d writes reads pending stack
+      | K_check (d, writes, pending) :: stack -> check d writes pending stack
     in
-    (* reads not overlapping the write set are checked by version *)
-    let reads =
-      List.filter_map
-        (fun (x, (ver, _)) -> if List.mem x wset then None else Some (x, ver))
-        tx.rset
+    load desc0 []
+
+  (* Read a stable (clean) header, helping any commit in progress. *)
+  let stable_header t x =
+    Sm.suspend @@ fun () ->
+    let rec go () =
+      let* h = Sm.read t.headers.(x) in
+      match header_of h with
+      | Clean (ver, v) -> Sm.return (ver, v)
+      | Owned d ->
+          let* () = complete t d in
+          go ()
     in
-    (* publish the descriptor: status, writes, reads, in three consecutive
-       cells (set-up allocation + initializing stores) *)
-    let desc =
-      Machine.alloc t.machine
-        ~name:(Printf.sprintf "ostm.desc[%d]" tx.id)
-        (Value.Int undecided)
-    in
-    let wcell =
-      Machine.alloc t.machine
-        ~name:(Printf.sprintf "ostm.w[%d]" tx.id)
-        Value.Unit
-    in
-    let rcell =
-      Machine.alloc t.machine
-        ~name:(Printf.sprintf "ostm.r[%d]" tx.id)
-        Value.Unit
-    in
-    assert (wcell = desc + 1 && rcell = desc + 2);
-    Proc.write (desc + 1) (encode_writes writes);
-    Proc.write (desc + 2) (encode_reads reads);
-    (* also validate the reads that overlap the write set: their expected
-       old version is the acquire phase's expected header, so acquisition
-       itself validates them *)
-    complete t ~depth:0 desc;
-    if Proc.read_int desc = successful then Ok () else Error `Abort
-  end
+    go ()
+
+  let valid t tx =
+    Sm.suspend @@ fun () ->
+    forall
+      (fun (x, (ver, _)) ->
+        let* ver', _ = stable_header t x in
+        Sm.return (ver' = ver))
+      tx.rset
+
+  let read t tx x =
+    Sm.suspend @@ fun () ->
+    match List.assoc_opt x tx.wbuf with
+    | Some v -> Sm.return (Ok v)
+    | None -> (
+        match List.assoc_opt x tx.rset with
+        | Some (_, v) -> Sm.return (Ok v)
+        | None ->
+            let* ver, v = stable_header t x in
+            let* ok = valid t tx in
+            if not ok then Sm.return (Error `Abort)
+            else begin
+              tx.rset <- (x, (ver, v)) :: tx.rset;
+              Sm.return (Ok v)
+            end)
+
+  let write _t tx x v =
+    Sm.suspend @@ fun () ->
+    tx.wbuf <- (x, v) :: tx.wbuf;
+    Sm.return (Ok ())
+
+  let try_commit t tx =
+    Sm.suspend @@ fun () ->
+    if tx.wbuf = [] then
+      let* ok = valid t tx in
+      Sm.return (if ok then Ok () else Error `Abort)
+    else
+      (* Snapshot expected old values for the write set (helping rivals as
+         needed), reusing read-set knowledge where available. *)
+      let wset = List.sort_uniq compare (List.map fst tx.wbuf) in
+      let rec snap acc = function
+        | [] -> Sm.return (List.rev acc)
+        | x :: rest ->
+            let* over, oval =
+              match List.assoc_opt x tx.rset with
+              | Some (ver, v) -> Sm.return (ver, v)
+              | None -> stable_header t x
+            in
+            snap ((x, (over, oval, List.assoc x tx.wbuf)) :: acc) rest
+      in
+      let* writes = snap [] wset in
+      (* reads not overlapping the write set are checked by version *)
+      let reads =
+        List.filter_map
+          (fun (x, (ver, _)) -> if List.mem x wset then None else Some (x, ver))
+          tx.rset
+      in
+      (* publish the descriptor: status, writes, reads, in three consecutive
+         cells (set-up allocation + initializing stores) *)
+      let desc =
+        Machine.alloc t.machine
+          ~name:(Printf.sprintf "ostm.desc[%d]" tx.id)
+          (Value.Int undecided)
+      in
+      let wcell =
+        Machine.alloc t.machine
+          ~name:(Printf.sprintf "ostm.w[%d]" tx.id)
+          Value.Unit
+      in
+      let rcell =
+        Machine.alloc t.machine
+          ~name:(Printf.sprintf "ostm.r[%d]" tx.id)
+          Value.Unit
+      in
+      assert (wcell = desc + 1 && rcell = desc + 2);
+      let* () = Sm.write (desc + 1) (encode_writes writes) in
+      let* () = Sm.write (desc + 2) (encode_reads reads) in
+      (* also validate the reads that overlap the write set: their expected
+         old version is the acquire phase's expected header, so acquisition
+         itself validates them *)
+      let* () = complete t desc in
+      let* st = Sm.read_int desc in
+      Sm.return (if st = successful then Ok () else Error `Abort)
+end
+
+include Ptm_core.Tm_intf.Of_step (Stepwise)

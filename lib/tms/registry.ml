@@ -17,3 +17,12 @@ let by_name n =
   List.find_opt
     (fun (module T : Ptm_core.Tm_intf.S) -> String.equal T.name n)
     (single_object @ all)
+
+let stepwise : Ptm_core.Tm_intf.tm_step list =
+  [ (module Undolog.Stepwise); (module Ostm.Stepwise);
+    (module Norec.Stepwise); (module Sgl.Stepwise) ]
+
+let stepwise_by_name n =
+  List.find_opt
+    (fun (module T : Ptm_core.Tm_intf.S_step) -> String.equal T.name n)
+    stepwise

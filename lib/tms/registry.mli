@@ -14,3 +14,11 @@ val escape_class : Ptm_core.Tm_intf.tm list
 (** TMs escaping the Theorem 3 bound by violating one premise. *)
 
 val by_name : string -> Ptm_core.Tm_intf.tm option
+
+val stepwise : Ptm_core.Tm_intf.tm_step list
+(** The TMs available in step-machine form ({!Ptm_core.Tm_intf.S_step}),
+    runnable on either {!Ptm_machine.Machine} backend. Their direct-style
+    modules in {!all} are derived from these, so the two forms are
+    event-identical. *)
+
+val stepwise_by_name : string -> Ptm_core.Tm_intf.tm_step option

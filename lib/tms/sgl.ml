@@ -1,56 +1,75 @@
 open Ptm_machine
+module Sm = Proc.Step
 
-let name = "sgl"
+let ( let* ) = Sm.bind
 
-let props =
-  {
-    Ptm_core.Tm_intf.opaque = true;
-    weak_dap = false;
-    invisible_reads = false;
-    weak_invisible_reads = false;
-    progressive = true;
-    strongly_progressive = true;
-  }
+(* The implementation is written once, in step-machine form; the
+   direct-style interface below is derived from it via [Tm_intf.Of_step],
+   so both forms execute the identical event sequence. *)
+module Stepwise = struct
+  let name = "sgl"
 
-type t = { lock : Memory.addr; data : Memory.addr array }
+  let props =
+    {
+      Ptm_core.Tm_intf.opaque = true;
+      weak_dap = false;
+      invisible_reads = false;
+      weak_invisible_reads = false;
+      progressive = true;
+      strongly_progressive = true;
+    }
 
-let create machine ~nobjs =
-  {
-    lock = Machine.alloc machine ~name:"sgl.lock" (Value.Bool false);
-    data =
-      Orec.alloc_array machine ~prefix:"sgl.data" ~nobjs
-        ~init:(Value.Int Ptm_core.Tm_intf.init_value);
-  }
+  type t = { lock : Memory.addr; data : Memory.addr array }
 
-type tx = { mutable holding : bool }
+  let create machine ~nobjs =
+    {
+      lock = Machine.alloc machine ~name:"sgl.lock" (Value.Bool false);
+      data =
+        Orec.alloc_array machine ~prefix:"sgl.data" ~nobjs
+          ~init:(Value.Int Ptm_core.Tm_intf.init_value);
+    }
 
-let fresh _t ~pid:_ ~id:_ = { holding = false }
+  type tx = { mutable holding : bool }
 
-(* Test-and-test-and-set acquisition: spin on the cached value, attempt the
-   TAS only when the lock looks free. *)
-let acquire t tx =
-  if not tx.holding then begin
-    let rec go () =
-      if Proc.read_bool t.lock then go ()
-      else if Proc.tas t.lock then go ()
-      else ()
-    in
-    go ();
-    tx.holding <- true
-  end
+  let fresh _t ~pid:_ ~id:_ = { holding = false }
 
-let read t tx x =
-  acquire t tx;
-  Ok (Value.to_int (Proc.read t.data.(x)))
+  (* Test-and-test-and-set acquisition: spin on the cached value, attempt
+     the TAS only when the lock looks free. *)
+  let acquire t tx =
+    Sm.suspend @@ fun () ->
+    if tx.holding then Sm.return ()
+    else
+      let rec go () =
+        let* held = Sm.read_bool t.lock in
+        if held then go ()
+        else
+          let* taken = Sm.tas t.lock in
+          if taken then go () else Sm.return ()
+      in
+      let* () = go () in
+      tx.holding <- true;
+      Sm.return ()
 
-let write t tx x v =
-  acquire t tx;
-  Proc.write t.data.(x) (Value.Int v);
-  Ok ()
+  let read t tx x =
+    Sm.suspend @@ fun () ->
+    let* () = acquire t tx in
+    let* v = Sm.read_int t.data.(x) in
+    Sm.return (Ok v)
 
-let try_commit t tx =
-  if tx.holding then begin
-    Proc.write t.lock (Value.Bool false);
-    tx.holding <- false
-  end;
-  Ok ()
+  let write t tx x v =
+    Sm.suspend @@ fun () ->
+    let* () = acquire t tx in
+    let* () = Sm.write t.data.(x) (Value.Int v) in
+    Sm.return (Ok ())
+
+  let try_commit t tx =
+    Sm.suspend @@ fun () ->
+    if tx.holding then begin
+      let* () = Sm.write t.lock (Value.Bool false) in
+      tx.holding <- false;
+      Sm.return (Ok ())
+    end
+    else Sm.return (Ok ())
+end
+
+include Ptm_core.Tm_intf.Of_step (Stepwise)

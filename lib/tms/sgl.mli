@@ -7,3 +7,7 @@
     disjoint-access parallelism. The baseline and ablation anchor. *)
 
 include Ptm_core.Tm_intf.S
+
+module Stepwise : Ptm_core.Tm_intf.S_step with type t = t and type tx = tx
+(** The step-machine form the direct-style interface is derived from;
+    runnable on either {!Ptm_machine.Machine} backend. *)

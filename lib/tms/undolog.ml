@@ -1,114 +1,150 @@
 open Ptm_machine
+module Sm = Proc.Step
 
-let name = "undolog"
+let ( let* ) = Sm.bind
 
-let props =
-  {
-    Ptm_core.Tm_intf.opaque = true;
-    weak_dap = true;
-    invisible_reads = true;
-    weak_invisible_reads = true;
-    progressive = true;
-    strongly_progressive = false;
+(* Step-form [List.for_all]: short-circuits left to right exactly like the
+   direct-style fold it replaces. *)
+let rec forall f = function
+  | [] -> Sm.return true
+  | x :: rest ->
+      let* ok = f x in
+      if ok then forall f rest else Sm.return false
+
+(* The implementation is written once, in step-machine form; the
+   direct-style interface below is derived from it via [Tm_intf.Of_step],
+   so both forms execute the identical event sequence. *)
+module Stepwise = struct
+  let name = "undolog"
+
+  let props =
+    {
+      Ptm_core.Tm_intf.opaque = true;
+      weak_dap = true;
+      invisible_reads = true;
+      weak_invisible_reads = true;
+      progressive = true;
+      strongly_progressive = false;
+    }
+
+  type t = { orecs : Memory.addr array; data : Memory.addr array }
+
+  let create machine ~nobjs =
+    {
+      orecs =
+        Orec.alloc_array machine ~prefix:"undo.orec" ~nobjs
+          ~init:(Orec.pack ~ver:0 ~owner:Orec.none);
+      data =
+        Orec.alloc_array machine ~prefix:"undo.data" ~nobjs
+          ~init:(Value.Int Ptm_core.Tm_intf.init_value);
+    }
+
+  type tx = {
+    id : int;
+    mutable rset : (int * (int * int)) list;  (* obj -> (ver, value) *)
+    mutable undo : (int * (int * int)) list;
+        (* obj -> (ver at lock, old value); most recent first, one entry per
+           locked object *)
   }
 
-type t = { orecs : Memory.addr array; data : Memory.addr array }
+  let fresh _t ~pid:_ ~id = { id; rset = []; undo = [] }
 
-let create machine ~nobjs =
-  {
-    orecs =
-      Orec.alloc_array machine ~prefix:"undo.orec" ~nobjs
-        ~init:(Orec.pack ~ver:0 ~owner:Orec.none);
-    data =
-      Orec.alloc_array machine ~prefix:"undo.data" ~nobjs
-        ~init:(Value.Int Ptm_core.Tm_intf.init_value);
-  }
+  let locked_by_me tx x = List.mem_assoc x tx.undo
 
-type tx = {
-  id : int;
-  mutable rset : (int * (int * int)) list;  (* obj -> (ver, value) *)
-  mutable undo : (int * (int * int)) list;
-      (* obj -> (ver at lock, old value); most recent first, one entry per
-         locked object *)
-}
-
-let fresh _t ~pid:_ ~id = { id; rset = []; undo = [] }
-
-let locked_by_me tx x = List.mem_assoc x tx.undo
-
-(* Restore old values, then release the locks with a BUMPED version (the
-   incarnation trick of TinySTM): releasing with the original version would
-   let a concurrent reader pass its orec double-check around the whole
-   lock / dirty-write / rollback cycle and return the uncommitted value —
-   an ABA our schedule explorer finds in a 2-transaction workload. The
-   spurious version advance only aborts readers that overlapped the undone
-   writer, which is a concurrent conflicting transaction, so
-   progressiveness is preserved. *)
-let rollback t tx =
-  List.iter
-    (fun (x, (ver, old)) ->
-      Proc.write t.data.(x) (Value.Int old);
-      Proc.write t.orecs.(x) (Orec.pack ~ver:(ver + 1) ~owner:Orec.none))
-    tx.undo;
-  tx.undo <- []
-
-let abort t tx =
-  rollback t tx;
-  Error `Abort
-
-let valid t tx =
-  List.for_all
-    (fun (x, (ver, _)) ->
-      let ver', owner' = Orec.unpack (Proc.read t.orecs.(x)) in
-      ver' = ver && (owner' = Orec.none || owner' = tx.id))
-    tx.rset
-
-let read t tx x =
-  if locked_by_me tx x then Ok (Value.to_int (Proc.read t.data.(x)))
-  else
-    match List.assoc_opt x tx.rset with
-    | Some (_, v) -> Ok v
-    | None ->
-        let ver, owner = Orec.unpack (Proc.read t.orecs.(x)) in
-        if owner <> Orec.none then abort t tx
-        else
-          let v = Value.to_int (Proc.read t.data.(x)) in
-          let ver2, owner2 = Orec.unpack (Proc.read t.orecs.(x)) in
-          if ver2 <> ver || owner2 <> owner then abort t tx
-          else if not (valid t tx) then abort t tx
-          else begin
-            tx.rset <- (x, (ver, v)) :: tx.rset;
-            Ok v
-          end
-
-let write t tx x v =
-  if locked_by_me tx x then begin
-    Proc.write t.data.(x) (Value.Int v);
-    Ok ()
-  end
-  else
-    let ver, owner = Orec.unpack (Proc.read t.orecs.(x)) in
-    if owner <> Orec.none then abort t tx
-    else if
-      Proc.cas t.orecs.(x)
-        ~expected:(Orec.pack ~ver ~owner:Orec.none)
-        ~desired:(Orec.pack ~ver ~owner:tx.id)
-    then begin
-      let old = Value.to_int (Proc.read t.data.(x)) in
-      tx.undo <- (x, (ver, old)) :: tx.undo;
-      Proc.write t.data.(x) (Value.Int v);
-      Ok ()
-    end
-    else abort t tx
-
-let try_commit t tx =
-  if not (valid t tx) then abort t tx
-  else begin
-    (* data is already in place: bump versions and release *)
-    List.iter
-      (fun (x, (ver, _)) ->
-        Proc.write t.orecs.(x) (Orec.pack ~ver:(ver + 1) ~owner:Orec.none))
-      tx.undo;
+  (* Restore old values, then release the locks with a BUMPED version (the
+     incarnation trick of TinySTM): releasing with the original version would
+     let a concurrent reader pass its orec double-check around the whole
+     lock / dirty-write / rollback cycle and return the uncommitted value —
+     an ABA our schedule explorer finds in a 2-transaction workload. The
+     spurious version advance only aborts readers that overlapped the undone
+     writer, which is a concurrent conflicting transaction, so
+     progressiveness is preserved. *)
+  let rollback t tx =
+    Sm.suspend @@ fun () ->
+    let* () =
+      Sm.iter
+        (fun (x, (ver, old)) ->
+          let* () = Sm.write t.data.(x) (Value.Int old) in
+          Sm.write t.orecs.(x) (Orec.pack ~ver:(ver + 1) ~owner:Orec.none))
+        tx.undo
+    in
     tx.undo <- [];
-    Ok ()
-  end
+    Sm.return ()
+
+  let abort t tx =
+    let* () = rollback t tx in
+    Sm.return (Error `Abort)
+
+  let valid t tx =
+    Sm.suspend @@ fun () ->
+    forall
+      (fun (x, (ver, _)) ->
+        let* o = Sm.read t.orecs.(x) in
+        let ver', owner' = Orec.unpack o in
+        Sm.return (ver' = ver && (owner' = Orec.none || owner' = tx.id)))
+      tx.rset
+
+  let read t tx x =
+    Sm.suspend @@ fun () ->
+    if locked_by_me tx x then
+      let* v = Sm.read_int t.data.(x) in
+      Sm.return (Ok v)
+    else
+      match List.assoc_opt x tx.rset with
+      | Some (_, v) -> Sm.return (Ok v)
+      | None ->
+          let* o = Sm.read t.orecs.(x) in
+          let ver, owner = Orec.unpack o in
+          if owner <> Orec.none then abort t tx
+          else
+            let* v = Sm.read_int t.data.(x) in
+            let* o2 = Sm.read t.orecs.(x) in
+            let ver2, owner2 = Orec.unpack o2 in
+            if ver2 <> ver || owner2 <> owner then abort t tx
+            else
+              let* ok = valid t tx in
+              if not ok then abort t tx
+              else begin
+                tx.rset <- (x, (ver, v)) :: tx.rset;
+                Sm.return (Ok v)
+              end
+
+  let write t tx x v =
+    Sm.suspend @@ fun () ->
+    if locked_by_me tx x then
+      let* () = Sm.write t.data.(x) (Value.Int v) in
+      Sm.return (Ok ())
+    else
+      let* o = Sm.read t.orecs.(x) in
+      let ver, owner = Orec.unpack o in
+      if owner <> Orec.none then abort t tx
+      else
+        let* locked =
+          Sm.cas t.orecs.(x)
+            ~expected:(Orec.pack ~ver ~owner:Orec.none)
+            ~desired:(Orec.pack ~ver ~owner:tx.id)
+        in
+        if locked then
+          let* old = Sm.read_int t.data.(x) in
+          tx.undo <- (x, (ver, old)) :: tx.undo;
+          let* () = Sm.write t.data.(x) (Value.Int v) in
+          Sm.return (Ok ())
+        else abort t tx
+
+  let try_commit t tx =
+    Sm.suspend @@ fun () ->
+    let* ok = valid t tx in
+    if not ok then abort t tx
+    else
+      (* data is already in place: bump versions and release *)
+      let* () =
+        Sm.iter
+          (fun (x, (ver, _)) ->
+            Sm.write t.orecs.(x) (Orec.pack ~ver:(ver + 1) ~owner:Orec.none))
+          tx.undo
+      in
+      tx.undo <- [];
+      Sm.return (Ok ())
+end
+
+include Ptm_core.Tm_intf.Of_step (Stepwise)
