@@ -14,6 +14,9 @@
      E11 Extension: explorer throughput (paths/s, steps/s) with the trace
          sink on/off, naive vs DPOR vs frontier-parallel; emits
          BENCH_explore.json
+     E15 Extension: streaming opacity checker throughput (events/s) and
+         resident state on a 10^6-event history; cells join
+         BENCH_explore.json under the same perf gate
 
    plus Bechamel wall-clock micro-benchmarks of the simulator itself (one
    Test.make per experiment driver and per TM).
@@ -886,11 +889,135 @@ let e14 ?(quick = false) () =
     (sp ("ostm-step", "dpor"));
   List.rev !cells
 
-(* One BENCH_explore.json for the CI perf-smoke artifact, fed by the E11
-   and E14 cells together. *)
+(* ------------------------------------------------------------------ *)
+(* E15: streaming opacity checker — events/s and resident state        *)
+(* ------------------------------------------------------------------ *)
+
+(* Feed the streaming TMS checker (Opacity_stream) a synthetic
+   million-event valid history through [on_event] and report events/s plus
+   the checker's peak resident state. Two shapes: [serial] (one pid,
+   transactions back to back — the frontier stays a singleton) and
+   [interleaved] (P pids in lockstep on disjoint objects — every round
+   overlaps P commit windows, forcing the commit-order branching and
+   frontier dedup machinery on every commit). Cells are emitted in the E11
+   JSON format with events/s in the leaves_per_sec field so the existing
+   perf gate covers the monitor. *)
+let e15 ?(quick = false) () =
+  hr
+    "E15. Streaming opacity: events/s and resident state on a 10^6-event \
+     history";
+  let total = if quick then 200_000 else 1_000_000 in
+  let shapes = [ ("serial", 1); ("interleaved", 4) ] in
+  let cells = ref [] in
+  Fmt.pr "%-12s %10s %9s %12s %9s %9s@." "shape" "events" "elapsed"
+    "events/s" "frontier" "resident";
+  List.iter
+    (fun (sname, nprocs) ->
+      let run1 () =
+        let chk = Opacity_stream.create () in
+        let ev = ref 0 in
+        let txof = Array.init nprocs (fun p -> p) in
+        let ntx = ref nprocs in
+        let phase = Array.make nprocs 0 in
+        let value = Array.make nprocs 0 in
+        (* stagger process starts by one event each, so commit windows
+           overlap pairwise rather than all at once (all-at-once is the
+           pathological shape the frontier cap exists for) *)
+        let delay = Array.init nprocs (fun p -> nprocs - 1 - p) in
+        (* round-robin one event per pid; each transaction writes its own
+           object, reads it back, and commits (6 events) *)
+        while !ev < total do
+          for p = 0 to nprocs - 1 do
+            if delay.(p) > 0 then delay.(p) <- delay.(p) - 1
+            else if !ev < total then begin
+              let tx = txof.(p) and obj = p in
+              let e =
+                match phase.(p) with
+                | 0 ->
+                    Opacity_stream.Inv
+                      { pid = p; tx; op = History.Write (obj, value.(p)) }
+                | 1 ->
+                    Opacity_stream.Res
+                      {
+                        pid = p;
+                        tx;
+                        op = History.Write (obj, value.(p));
+                        res = History.ROk;
+                      }
+                | 2 ->
+                    Opacity_stream.Inv { pid = p; tx; op = History.Read obj }
+                | 3 ->
+                    Opacity_stream.Res
+                      {
+                        pid = p;
+                        tx;
+                        op = History.Read obj;
+                        res = History.RVal value.(p);
+                      }
+                | 4 ->
+                    Opacity_stream.Inv { pid = p; tx; op = History.Try_commit }
+                | _ ->
+                    Opacity_stream.Res
+                      {
+                        pid = p;
+                        tx;
+                        op = History.Try_commit;
+                        res = History.RCommit;
+                      }
+              in
+              Opacity_stream.on_event chk e;
+              incr ev;
+              phase.(p) <- phase.(p) + 1;
+              if phase.(p) = 6 then begin
+                phase.(p) <- 0;
+                value.(p) <- value.(p) + 1;
+                txof.(p) <- !ntx;
+                incr ntx
+              end
+            end
+          done
+        done;
+        chk
+      in
+      let t0 = Unix.gettimeofday () in
+      let chk = run1 () in
+      let dt = Unix.gettimeofday () -. t0 in
+      (match Opacity_stream.verdict chk with
+      | Opacity_stream.Opaque -> ()
+      | v ->
+          Fmt.epr "e15: valid history rejected: %a@."
+            Opacity_stream.pp_verdict v;
+          exit 1);
+      let st = Opacity_stream.stats chk in
+      let eps = float_of_int st.Opacity_stream.events /. dt in
+      Fmt.pr "%-12s %10d %8.2fs %12.0f %9d %9d@." sname
+        st.Opacity_stream.events dt eps st.Opacity_stream.max_frontier
+        st.Opacity_stream.max_resident;
+      cells :=
+        ( (("e15-opacity", sname, "full", "stream"), eps),
+          Printf.sprintf
+            "    {\"config\":\"e15-opacity\",\"mode\":%S,\"trace\":\"full\",\
+             \"engine\":\"stream\",\"paths\":%d,\"cut\":0,\"pruned\":0,\
+             \"violations\":0,\"replays\":0,\"steps\":%d,\
+             \"replay_steps_saved\":0,\"repeats\":1,\"elapsed_s\":%.4f,\
+             \"paths_per_sec\":%.1f,\"leaves_per_sec\":%.1f,\
+             \"steps_per_sec\":%.1f,\"max_frontier\":%d,\"max_resident\":%d}"
+            sname st.Opacity_stream.events st.Opacity_stream.events dt eps
+            eps eps st.Opacity_stream.max_frontier
+            st.Opacity_stream.max_resident )
+        :: !cells)
+    shapes;
+  Fmt.pr
+    "@.the monitor's per-event cost is frontier size x validity-interval@.\
+     work; watermark pruning keeps resident state bounded by the live@.\
+     transaction window, not by history length.@.";
+  List.rev !cells
+
+(* One BENCH_explore.json for the CI perf-smoke artifact, fed by the E11,
+   E14 and E15 cells together. *)
 let write_explore_json cells =
   let oc = open_out "BENCH_explore.json" in
-  output_string oc "{\n  \"experiment\": \"E11+E14\",\n  \"cells\": [\n";
+  output_string oc "{\n  \"experiment\": \"E11+E14+E15\",\n  \"cells\": [\n";
   output_string oc (String.concat ",\n" (List.map snd cells));
   output_string oc "\n  ]\n}\n";
   close_out oc;
@@ -993,9 +1120,9 @@ let gate ?(quick = false) () =
       file;
     exit 2
   end;
-  let fresh = e11 ~quick () @ e14 ~quick () in
+  let fresh = e11 ~quick () @ e14 ~quick () @ e15 ~quick () in
   write_explore_json fresh;
-  hr "Perf gate: fresh E11 + E14 vs checked-in BENCH_explore.json";
+  hr "Perf gate: fresh E11 + E14 + E15 vs checked-in BENCH_explore.json";
   let ratios =
     List.filter_map
       (fun (((_, m, _, _) as key), l_now) ->
@@ -1101,10 +1228,12 @@ let () =
   let quick = arg "quick" in
   Fmt.pr
     "Progressive Transactional Memory in Time and Space — experiment suite@.";
-  if arg "e11" then write_explore_json (e11 ~quick () @ e14 ~quick ())
+  if arg "e11" then
+    write_explore_json (e11 ~quick () @ e14 ~quick () @ e15 ~quick ())
   else if arg "e12" then e12 ~quick ()
   else if arg "e13" then e13 ()
   else if arg "e14" then ignore (e14 ~quick ())
+  else if arg "e15" then ignore (e15 ~quick ())
   else if arg "gate" then gate ~quick:true ()
   else begin
     e1 ();
@@ -1119,7 +1248,8 @@ let () =
     e12 ~quick ();
     e13 ();
     let c14 = e14 ~quick () in
-    write_explore_json (c11 @ c14);
+    let c15 = e15 ~quick () in
+    write_explore_json (c11 @ c14 @ c15);
     if not fast then bechamel_pass ()
   end;
   Fmt.pr "@.done.@."

@@ -394,9 +394,100 @@ let explore_cmd =
              $(b,steps), or $(b,both) (run twice and require identical \
              stats).")
   in
+  let check_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("stream", `Stream); ("offline", `Offline); ("both", `Both) ]))
+          None
+      & info [ "check" ] ~docv:"CHECKER"
+          ~doc:
+            "Check every leaf's TM history for opacity (requires $(b,--tm); \
+             forces trace retention): $(b,stream) (the streaming \
+             TMS-automaton checker), $(b,offline) (the serialization-search \
+             checker), or $(b,both) (run both and require per-leaf \
+             agreement; any disagreement is a violation).")
+  in
   let run (module L : Ptm_mutex.Mutex_intf.S) max_steps nprocs max_paths
       reduce domains compare progress_every trace pool checkpoint_stride
-      crashes stalls stall_steps checkpoint_file resume tm_step engine =
+      crashes stalls stall_steps checkpoint_file resume tm_step engine check =
+    (if check <> None && tm_step = None then begin
+       Fmt.epr "--check requires a --tm fixture (lock leaves have no TM \
+                history)@.";
+       exit 2
+     end);
+    let trace = if check <> None then Ptm_machine.Trace.Full else trace in
+    let checked = Atomic.make 0
+    and disagreements = Atomic.make 0
+    and undecided = Atomic.make 0 in
+    let final =
+      Option.map
+        (fun mode m ->
+          Atomic.incr checked;
+          let entries =
+            Ptm_machine.Trace.entries (Ptm_machine.Machine.trace m)
+          in
+          match mode with
+          | `Stream -> (
+              match fst (Ptm_core.Opacity_stream.check_entries entries) with
+              | Ptm_core.Opacity_stream.Opaque -> true
+              | Ptm_core.Opacity_stream.Inconclusive _ ->
+                  Atomic.incr undecided;
+                  true
+              | Ptm_core.Opacity_stream.Violation _ as v ->
+                  Fmt.epr "leaf opacity violation: %a@."
+                    Ptm_core.Opacity_stream.pp_verdict v;
+                  false)
+          | `Offline -> (
+              match
+                Ptm_core.Checker.opaque (Ptm_core.History.of_entries entries)
+              with
+              | Ptm_core.Checker.Serializable _ -> true
+              | Ptm_core.Checker.Dont_know _ ->
+                  Atomic.incr undecided;
+                  true
+              | Ptm_core.Checker.Not_serializable _ as v ->
+                  Fmt.epr "leaf opacity violation: %a@."
+                    Ptm_core.Checker.pp_verdict v;
+                  false)
+          | `Both -> (
+              let sv = fst (Ptm_core.Opacity_stream.check_entries entries) in
+              let ov =
+                Ptm_core.Checker.opaque (Ptm_core.History.of_entries entries)
+              in
+              match (ov, sv) with
+              | Ptm_core.Checker.Dont_know _, _
+              | _, Ptm_core.Opacity_stream.Inconclusive _ ->
+                  Atomic.incr undecided;
+                  true
+              | ( Ptm_core.Checker.Serializable _,
+                  Ptm_core.Opacity_stream.Opaque ) ->
+                  true
+              | ( Ptm_core.Checker.Not_serializable _,
+                  Ptm_core.Opacity_stream.Violation _ ) ->
+                  (* the checkers agree the leaf is broken *)
+                  Fmt.epr "leaf opacity violation (both checkers): %a@."
+                    Ptm_core.Opacity_stream.pp_verdict sv;
+                  false
+              | _ ->
+                  Atomic.incr disagreements;
+                  Fmt.epr
+                    "checker DISAGREEMENT on a leaf: offline=%a stream=%a@."
+                    Ptm_core.Checker.pp_verdict ov
+                    Ptm_core.Opacity_stream.pp_verdict sv;
+                  false))
+        check
+    in
+    let report_check () =
+      if check <> None then
+        Fmt.pr
+          "opacity: %d leaves checked, %d disagreements, %d undecided@."
+          (Atomic.get checked)
+          (Atomic.get disagreements)
+          (Atomic.get undecided)
+    in
     let mk () =
       let m = Ptm_machine.Machine.create ~trace ~nprocs () in
       let lock = L.create m ~nprocs in
@@ -454,8 +545,8 @@ let explore_cmd =
             Fmt.epr "... %d paths, %d cut, %d pruned@." s.paths s.cut s.pruned)
     in
     let search ~mk mode =
-      Ptm_machine.Explore.run ~mk ~max_steps ~max_paths ~mode ~domains ~pool
-        ~checkpoint_stride ~fuse:true ~crashes ~stalls ~stall_steps
+      Ptm_machine.Explore.run ~mk ?final ~max_steps ~max_paths ~mode ~domains
+        ~pool ~checkpoint_stride ~fuse:true ~crashes ~stalls ~stall_steps
         ?checkpoint_file ~resume ?progress
         ~progress_every:(max 1 progress_every)
         ()
@@ -480,11 +571,13 @@ let explore_cmd =
               let s = search_tm Ptm_machine.Machine.Fibers in
               Fmt.pr "%s: %a@." (name Ptm_machine.Machine.Fibers)
                 Ptm_machine.Explore.pp_stats s;
+              report_check ();
               if s.Ptm_machine.Explore.violations > 0 then exit 1
           | `Steps ->
               let s = search_tm Ptm_machine.Machine.Steps in
               Fmt.pr "%s: %a@." (name Ptm_machine.Machine.Steps)
                 Ptm_machine.Explore.pp_stats s;
+              report_check ();
               if s.Ptm_machine.Explore.violations > 0 then exit 1
           | `Both ->
               let a = search_tm Ptm_machine.Machine.Fibers in
@@ -493,6 +586,7 @@ let explore_cmd =
                 Ptm_machine.Explore.pp_stats a;
               Fmt.pr "%s: %a@." (name Ptm_machine.Machine.Steps)
                 Ptm_machine.Explore.pp_stats b;
+              report_check ();
               if a <> b then begin
                 Fmt.epr "engines disagree: the backends must be bit-identical@.";
                 exit 1
@@ -533,7 +627,7 @@ let explore_cmd =
       const run $ lock_arg $ steps_arg $ procs_arg $ paths_arg $ reduce_arg
       $ domains_arg $ compare_arg $ progress_arg $ trace_arg $ pool_arg
       $ stride_arg $ crashes_arg $ stalls_arg $ stall_steps_arg
-      $ checkpoint_arg $ resume_arg $ tm_step_arg $ engine_arg)
+      $ checkpoint_arg $ resume_arg $ tm_step_arg $ engine_arg $ check_arg)
 
 (* ---------------- run (faults) ---------------- *)
 
@@ -603,8 +697,25 @@ let run_cmd =
             "Scheduler step budget; exceeding it reports out-of-steps \
              instead of failing (crashed lock holders make survivors spin).")
   in
+  let monitor_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("off", Ptm_core.Runner.Monitor_off);
+               ("stream", Ptm_core.Runner.Monitor_stream);
+             ])
+          Ptm_core.Runner.Monitor_off
+      & info [ "monitor" ] ~docv:"MONITOR"
+          ~doc:
+            "Online opacity monitor: $(b,stream) attaches the streaming \
+             TMS-automaton checker to the run's trace notes (the run itself \
+             is unaffected) and reports its verdict; a violation exits \
+             nonzero.")
+  in
   let run tm seed nprocs nobjs txs faults retries backoff livelock_window
-      max_steps =
+      max_steps monitor =
     let w =
       Ptm_core.Workload.random ~seed ~nprocs ~nobjs ~txs_per_proc:txs
         ~ops_per_tx:3 ()
@@ -618,7 +729,7 @@ let run_cmd =
     let o =
       Ptm_core.Runner.run tm ~retries ~policy ~faults
         ?livelock_window:(if livelock_window > 0 then Some livelock_window else None)
-        ?max_steps
+        ?max_steps ~monitor
         ~schedule:(Ptm_core.Runner.Random_sched seed) w
     in
     Fmt.pr "%a@." Ptm_core.History.pp o.Ptm_core.Runner.history;
@@ -636,10 +747,25 @@ let run_cmd =
         Fmt.pr "livelock: starved processes %a@."
           Fmt.(list ~sep:comma int)
           ps);
+    let monitor_bad =
+      match o.Ptm_core.Runner.monitor with
+      | Ptm_core.Runner.Not_monitored -> false
+      | Ptm_core.Runner.Monitor_ok st ->
+          Fmt.pr "monitor: opaque (%a)@." Ptm_core.Opacity_stream.pp_stats st;
+          false
+      | Ptm_core.Runner.Opacity_violation v ->
+          Fmt.pr "monitor: VIOLATION %a@." Ptm_core.Opacity_stream.pp_violation
+            v;
+          true
+      | Ptm_core.Runner.Monitor_inconclusive why ->
+          Fmt.pr "monitor: inconclusive (%s)@." why;
+          false
+    in
     let verdict =
       Ptm_core.Checker.strictly_serializable o.Ptm_core.Runner.history
     in
     Fmt.pr "strict serializability: %a@." Ptm_core.Checker.pp_verdict verdict;
+    if monitor_bad then exit 1;
     match verdict with
     | Ptm_core.Checker.Not_serializable _ -> exit 1
     | _ -> ()
@@ -660,7 +786,8 @@ let run_cmd =
          ])
     Term.(
       const run $ tm_arg $ seed_arg $ nprocs_arg $ nobjs_arg $ txs_arg
-      $ faults_arg $ retries_arg $ backoff_arg $ livelock_arg $ max_steps_arg)
+      $ faults_arg $ retries_arg $ backoff_arg $ livelock_arg $ max_steps_arg
+      $ monitor_arg)
 
 (* ---------------- props ---------------- *)
 

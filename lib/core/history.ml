@@ -241,6 +241,187 @@ let tx_events trace id =
     (fun s -> if s.s_tx = id then s.s_events else [])
     (spans trace)
 
+(* ------------------------------------------------------------------ *)
+(* Adversarial mutations                                               *)
+(* ------------------------------------------------------------------ *)
+
+type mutation =
+  | Swap_commit_order
+  | Stale_read
+  | Resurrect_aborted_write
+  | Drop_commit_response
+
+let pp_mutation ppf = function
+  | Swap_commit_order -> Fmt.string ppf "swap-commit-order"
+  | Stale_read -> Fmt.string ppf "stale-read"
+  | Resurrect_aborted_write -> Fmt.string ppf "resurrect-aborted-write"
+  | Drop_commit_response -> Fmt.string ppf "drop-commit-response"
+
+let mutate kind entries =
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  let replace i e = List.init n (fun j -> if j = i then e else arr.(j)) in
+  let out = ref [] in
+  (* running write buffers: tx -> (obj, value) list, newest first *)
+  let wbuf : (int, (int * int) list) Hashtbl.t = Hashtbl.create 16 in
+  let buf_of tx = try Hashtbl.find wbuf tx with Not_found -> [] in
+  let own_write tx x = List.exists (fun (y, _) -> y = x) (buf_of tx) in
+  (match kind with
+  | Stale_read ->
+      (* Serve the previous committed value of the object instead of the
+         one actually read. *)
+      let cur : (int, int) Hashtbl.t = Hashtbl.create 8 in
+      let prev : (int, int) Hashtbl.t = Hashtbl.create 8 in
+      Array.iteri
+        (fun i e ->
+          match e with
+          | Trace.Note
+              { note = Tx_res { tx; op = Write (x, v); res = ROk; _ }; _ } ->
+              Hashtbl.replace wbuf tx ((x, v) :: buf_of tx)
+          | Trace.Note
+              { note = Tx_res { tx; op = Try_commit; res = RCommit; _ }; _ } ->
+              List.iter
+                (fun (x, v) ->
+                  let old =
+                    match Hashtbl.find_opt cur x with
+                    | Some o -> o
+                    | None -> Tm_intf.init_value
+                  in
+                  if old <> v then begin
+                    Hashtbl.replace prev x old;
+                    Hashtbl.replace cur x v
+                  end)
+                (List.rev (buf_of tx))
+          | Trace.Note
+              { note = Tx_res { pid; tx; op = Read x; res = RVal v }; seq; _ }
+            -> (
+              if not (own_write tx x) then
+                match Hashtbl.find_opt prev x with
+                | Some w when w <> v ->
+                    out :=
+                      replace i
+                        (Trace.Note
+                           {
+                             seq;
+                             pid;
+                             note =
+                               Tx_res
+                                 { pid; tx; op = Read x; res = RVal w };
+                           })
+                      :: !out
+                | _ -> ())
+          | _ -> ())
+        arr
+  | Resurrect_aborted_write ->
+      (* Serve a value whose writing transaction aborted. *)
+      let aborted : (int, int) Hashtbl.t = Hashtbl.create 8 in
+      Array.iteri
+        (fun i e ->
+          match e with
+          | Trace.Note
+              { note = Tx_res { tx; op = Write (x, v); res = ROk; _ }; _ } ->
+              Hashtbl.replace wbuf tx ((x, v) :: buf_of tx)
+          | Trace.Note { note = Tx_res { tx; res = RAbort; _ }; _ } ->
+              List.iter
+                (fun (x, v) -> Hashtbl.replace aborted x v)
+                (buf_of tx)
+          | Trace.Note
+              { note = Tx_res { pid; tx; op = Read x; res = RVal u }; seq; _ }
+            -> (
+              if not (own_write tx x) then
+                match Hashtbl.find_opt aborted x with
+                | Some v when v <> u ->
+                    out :=
+                      replace i
+                        (Trace.Note
+                           {
+                             seq;
+                             pid;
+                             note =
+                               Tx_res
+                                 { pid; tx; op = Read x; res = RVal v };
+                           })
+                      :: !out
+                | _ -> ())
+          | _ -> ())
+        arr
+  | Swap_commit_order ->
+      (* Two committed writers of the same object, real-time ordered A
+         before B: make a later read observe them in the swapped order (A's
+         value after B overwrote it). *)
+      let h = of_entries entries in
+      let committed =
+        List.filter
+          (fun tx -> tx.status = Committed && updating tx)
+          h.txns
+      in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if precedes a b then
+                List.iter
+                  (fun (x, va) ->
+                    match List.assoc_opt x (writes b) with
+                    | Some vb when va <> vb ->
+                        Array.iteri
+                          (fun i e ->
+                            match e with
+                            | Trace.Note
+                                {
+                                  note =
+                                    Tx_res
+                                      { pid; tx; op = Read y; res = RVal v };
+                                  seq;
+                                  _;
+                                }
+                              when y = x && v = vb && seq > b.last ->
+                                out :=
+                                  replace i
+                                    (Trace.Note
+                                       {
+                                         seq;
+                                         pid;
+                                         note =
+                                           Tx_res
+                                             {
+                                               pid;
+                                               tx;
+                                               op = Read x;
+                                               res = RVal va;
+                                             };
+                                       })
+                                  :: !out
+                            | _ -> ())
+                          arr
+                    | _ -> ())
+                  (writes a))
+            committed)
+        committed
+  | Drop_commit_response ->
+      (* Drop a commit response whose process then carries on: the next
+         same-process invocation arrives with the try-commit still
+         outstanding. *)
+      Array.iteri
+        (fun i e ->
+          match e with
+          | Trace.Note
+              { note = Tx_res { pid; op = Try_commit; res = RCommit; _ }; _ }
+            ->
+              let continues = ref false in
+              for j = i + 1 to n - 1 do
+                match arr.(j) with
+                | Trace.Note { note = Tx_inv { pid = pid'; _ }; _ }
+                  when pid' = pid ->
+                    continues := true
+                | _ -> ()
+              done;
+              if !continues then
+                out := List.filteri (fun j _ -> j <> i) entries :: !out
+          | _ -> ())
+        arr);
+  List.rev !out
+
 let pp_status ppf = function
   | Committed -> Fmt.string ppf "C"
   | Aborted -> Fmt.string ppf "A"

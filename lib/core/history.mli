@@ -110,5 +110,36 @@ val spans : Trace.t -> span list
 val tx_events : Trace.t -> int -> Trace.mem_event list
 (** All memory events attributed to the given transaction id. *)
 
+(** {2 Adversarial mutations}
+
+    Test helpers that seed known opacity violations into a valid history's
+    entry list — the completeness half of the streaming-checker test
+    harness ({!Opacity_stream}): a checker that misses any mutant is
+    unsound as a monitor. *)
+
+type mutation =
+  | Swap_commit_order
+      (** a later read observes two real-time-ordered committed writers of
+          one object in the swapped order (the overwritten value) *)
+  | Stale_read
+      (** a read is served the object's {e previous} committed value *)
+  | Resurrect_aborted_write
+      (** a read is served a value whose writing transaction aborted *)
+  | Drop_commit_response
+      (** a commit response disappears while its process carries on — the
+          next same-process invocation arrives with the try-commit still
+          outstanding (a well-formedness violation the streaming checker
+          flags; the offline checker, which only sees the reconstructed
+          transaction records, may complete the pending commit and accept) *)
+
+val pp_mutation : Format.formatter -> mutation -> unit
+
+val mutate : mutation -> Trace.entry list -> Trace.entry list list
+(** Every way of seeding the given violation into the history: one mutant
+    entry list per applicable site (empty if the history offers none).
+    Mem entries pass through untouched; except for
+    {!Drop_commit_response}, mutants differ from the original in exactly
+    one response value. *)
+
 val pp_txr : Format.formatter -> txr -> unit
 val pp : Format.formatter -> t -> unit

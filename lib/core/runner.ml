@@ -379,6 +379,14 @@ module Livelock = struct
     match d.starved_at_trip with Some ps -> ps | None -> looping d
 end
 
+type monitor = Monitor_off | Monitor_stream
+
+type monitor_result =
+  | Not_monitored
+  | Monitor_ok of Opacity_stream.stats
+  | Opacity_violation of Opacity_stream.violation
+  | Monitor_inconclusive of string
+
 type outcome = {
   machine : Machine.t;
   history : History.t;
@@ -386,17 +394,31 @@ type outcome = {
   aborts : int;
   starved : int list;
   out_of_steps : bool;
+  monitor : monitor_result;
 }
 
 type schedule = Round_robin | Random_sched of int
 
 let run (module T : Tm_intf.S) ?(retries = 0) ?(policy = Immediate)
-    ?(faults = []) ?livelock_window ?max_steps ~schedule (w : Workload.t) =
+    ?(faults = []) ?livelock_window ?max_steps ?(monitor = Monitor_off)
+    ~schedule (w : Workload.t) =
   let module R = Make (T) in
   let nprocs = Array.length w.Workload.procs in
   let machine = Machine.create ~nprocs () in
   let ctx = R.init machine ~nobjs:w.Workload.nobjs in
   Machine.set_faults machine faults;
+  (* Online monitor: a streaming opacity checker attached to the trace's
+     note observer — it sees every t-operation boundary as it is recorded
+     (under any sink) and never influences the run. *)
+  let mon =
+    match monitor with
+    | Monitor_off -> None
+    | Monitor_stream ->
+        let mon = Opacity_stream.create () in
+        Ptm_machine.Trace.set_observer (Machine.trace machine)
+          (Some (Opacity_stream.on_entry mon));
+        Some mon
+  in
   let backoff =
     Array.init nprocs (fun i ->
         Machine.alloc machine
@@ -493,6 +515,16 @@ let run (module T : Tm_intf.S) ?(retries = 0) ?(policy = Immediate)
     | Some d when Livelock.tripped d -> Livelock.starved d
     | _ -> []
   in
+  let monitor =
+    match mon with
+    | None -> Not_monitored
+    | Some m -> (
+        Ptm_machine.Trace.set_observer (Machine.trace machine) None;
+        match Opacity_stream.verdict m with
+        | Opacity_stream.Opaque -> Monitor_ok (Opacity_stream.stats m)
+        | Opacity_stream.Violation v -> Opacity_violation v
+        | Opacity_stream.Inconclusive msg -> Monitor_inconclusive msg)
+  in
   {
     machine;
     history;
@@ -500,4 +532,5 @@ let run (module T : Tm_intf.S) ?(retries = 0) ?(policy = Immediate)
     aborts = !aborts;
     starved;
     out_of_steps;
+    monitor;
   }

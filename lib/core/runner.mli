@@ -104,6 +104,26 @@ module Livelock : sig
       otherwise the pids with a live abort streak now. *)
 end
 
+type monitor =
+  | Monitor_off
+  | Monitor_stream
+      (** attach a streaming opacity checker ({!Opacity_stream}) to the
+          machine trace's note observer: the whole run — faults, retries,
+          back-off included — is checked online, under any trace sink, at
+          zero influence on the run itself *)
+
+type monitor_result =
+  | Not_monitored
+  | Monitor_ok of Opacity_stream.stats
+      (** the run's history is opaque; the stats report the monitor's
+          resource use *)
+  | Opacity_violation of Opacity_stream.violation
+      (** the history is not opaque — the violation pinpoints the first
+          inconsistent event *)
+  | Monitor_inconclusive of string
+      (** the monitor's frontier cap tripped (never wrong, merely
+          undecided) *)
+
 type outcome = {
   machine : Machine.t;
   history : History.t;
@@ -115,6 +135,9 @@ type outcome = {
   out_of_steps : bool;
       (** the scheduler hit its step budget with runnable processes left —
           e.g. processes spinning on a base object held by a crashed peer *)
+  monitor : monitor_result;
+      (** the online checker's verdict ({!Not_monitored} unless [monitor]
+          was {!Monitor_stream}) *)
 }
 
 type schedule = Round_robin | Random_sched of int  (** seeded *)
@@ -126,6 +149,7 @@ val run :
   ?faults:Fault.spec list ->
   ?livelock_window:int ->
   ?max_steps:int ->
+  ?monitor:monitor ->
   schedule:schedule ->
   Workload.t ->
   outcome
@@ -150,4 +174,9 @@ val run :
 
     Running out of scheduler budget is reported as [out_of_steps = true]
     instead of raising {!Sched.Out_of_steps} (expected under crash faults
-    when survivors spin on objects the crashed process holds). *)
+    when survivors spin on objects the crashed process holds).
+
+    [monitor] (default {!Monitor_off}) arms the streaming opacity checker
+    over the run; its verdict lands in the outcome's [monitor] field. On a
+    violation-free run the outcome is identical to an unmonitored run
+    (the monitor only observes trace notes). *)

@@ -26,6 +26,9 @@ type t = {
   mutable start : int;
   mutable stored : int;
   mutable total : int;
+  mutable observer : (entry -> unit) option;
+      (* called on every note entry, even under an [Off] sink — the hook an
+         online monitor (e.g. the streaming opacity checker) attaches to *)
 }
 
 let create ?(sink = Full) () =
@@ -33,7 +36,9 @@ let create ?(sink = Full) () =
   | Ring n when n <= 0 ->
       invalid_arg "Trace.create: ring capacity must be positive"
   | _ -> ());
-  { sink; buf = [||]; start = 0; stored = 0; total = 0 }
+  { sink; buf = [||]; start = 0; stored = 0; total = 0; observer = None }
+
+let set_observer t f = t.observer <- f
 
 let sink t = t.sink
 let recording t = t.sink <> Off
@@ -71,9 +76,15 @@ let add_mem t ~pid ~addr prim resp changed =
   | _ -> push t (Mem { seq = t.total; pid; addr; prim; resp; changed })
 
 let add_note t ~pid note =
-  match t.sink with
-  | Off -> tick t
-  | _ -> push t (Note { seq = t.total; pid; note })
+  match t.observer with
+  | None -> (
+      match t.sink with
+      | Off -> tick t
+      | _ -> push t (Note { seq = t.total; pid; note }))
+  | Some f ->
+      let e = Note { seq = t.total; pid; note } in
+      (match t.sink with Off -> tick t | _ -> push t e);
+      f e
 
 (* Return to the post-create state in place, keeping [buf] allocated so a
    pooled machine's next run reuses the storage. *)

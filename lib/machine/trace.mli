@@ -55,6 +55,15 @@ val tick : t -> unit
 val add_mem : t -> pid:int -> addr:int -> Primitive.t -> Value.t -> bool -> unit
 val add_note : t -> pid:int -> note -> unit
 
+val set_observer : t -> (entry -> unit) option -> unit
+(** Attach (or detach, with [None]) a note observer: called with every
+    {!Note} entry as it is recorded — including under an {!Off} sink, where
+    the entry is built solely for the observer and not retained. Memory
+    events are {e not} observed (the hot path stays branch-free for them);
+    online monitors such as the streaming opacity checker only need the
+    t-operation notes. The observer survives {!clear} (pooled machines keep
+    their monitor across restarts); it must not mutate the trace. *)
+
 val clear : t -> unit
 (** Return to the freshly-created state — seq counter back to 0, nothing
     stored — keeping the underlying buffer allocated for reuse. *)

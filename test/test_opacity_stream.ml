@@ -1,0 +1,578 @@
+(* Streaming opacity checker (Opacity_stream): litmus fixtures, the
+   crash-inside-try-commit finalization regression, adversarial mutants
+   (History.mutate — every seeded violation must be flagged), the runner
+   monitor, and the differential harness against the offline checker:
+   registry sweeps under fault plans, explorer leaf-by-leaf agreement, and
+   a QCheck property over random step programs on both engines. *)
+
+open Ptm_machine
+open Ptm_core
+
+let of_q t = QCheck_alcotest.to_alcotest t
+
+(* ------------------------------------------------------------------ *)
+(* Hand-built histories                                                *)
+(* ------------------------------------------------------------------ *)
+
+let entries_of notes =
+  List.mapi (fun i (pid, note) -> Trace.Note { seq = i; pid; note }) notes
+
+let inv pid tx op = (pid, History.Tx_inv { pid; tx; op })
+let res pid tx op r = (pid, History.Tx_res { pid; tx; op; res = r })
+
+let read_ pid tx x v =
+  [ inv pid tx (History.Read x); res pid tx (History.Read x) (History.RVal v) ]
+
+let write_ pid tx x v =
+  [
+    inv pid tx (History.Write (x, v));
+    res pid tx (History.Write (x, v)) History.ROk;
+  ]
+
+let commit_ pid tx =
+  [ inv pid tx History.Try_commit; res pid tx History.Try_commit History.RCommit ]
+
+let abort_ pid tx =
+  [ inv pid tx History.Try_commit; res pid tx History.Try_commit History.RAbort ]
+
+let stream_verdict entries = fst (Opacity_stream.check_entries entries)
+
+let check_opaque name entries =
+  match stream_verdict entries with
+  | Opacity_stream.Opaque -> ()
+  | v ->
+      Alcotest.failf "%s: expected opaque, got %a" name
+        Opacity_stream.pp_verdict v
+
+let check_violation name entries =
+  match stream_verdict entries with
+  | Opacity_stream.Violation _ -> ()
+  | v ->
+      Alcotest.failf "%s: expected a violation, got %a" name
+        Opacity_stream.pp_verdict v
+
+(* ------------------------------------------------------------------ *)
+(* Litmus fixtures                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_litmus () =
+  check_opaque "empty" (entries_of []);
+  check_opaque "serial write then read"
+    (entries_of
+       (List.concat
+          [ write_ 0 1 0 7; commit_ 0 1; read_ 1 2 0 7; commit_ 1 2 ]));
+  check_violation "stale read after commit"
+    (entries_of
+       (List.concat
+          [ write_ 0 1 0 7; commit_ 0 1; read_ 1 2 0 0; commit_ 1 2 ]));
+  (* concurrent writer: reading the old value is legal (reader serializes
+     first) *)
+  check_opaque "concurrent old read"
+    (entries_of
+       (List.concat
+          [
+            write_ 0 1 0 7;
+            read_ 1 2 0 0;
+            commit_ 0 1;
+            commit_ 1 2;
+          ]));
+  check_violation "dirty read from aborted writer"
+    (entries_of
+       (List.concat
+          [ write_ 0 1 0 7; abort_ 0 1; read_ 1 2 0 7; commit_ 1 2 ]));
+  (* lost update: both read 0, both write, both commit *)
+  check_violation "lost update"
+    (entries_of
+       (List.concat
+          [
+            read_ 0 1 0 0;
+            read_ 1 2 0 0;
+            write_ 0 1 0 1;
+            write_ 1 2 0 2;
+            commit_ 0 1;
+            commit_ 1 2;
+          ]));
+  (* even a LIVE transaction must see a consistent snapshot (opacity, not
+     just strict serializability): t3 reads x old and y new across t1's
+     commit of both *)
+  check_violation "inconsistent live snapshot"
+    (entries_of
+       (List.concat
+          [
+            read_ 1 3 0 0;
+            write_ 0 1 0 5;
+            write_ 0 1 1 6;
+            commit_ 0 1;
+            read_ 1 3 1 6;
+          ]))
+
+(* Well-formedness: a response that does not match the pending invocation,
+   and an invocation arriving with an operation still outstanding. *)
+let test_well_formedness () =
+  check_violation "response without invocation"
+    (entries_of [ res 0 1 (History.Read 0) (History.RVal 0) ]);
+  check_violation "mismatched response"
+    (entries_of
+       [
+         inv 0 1 (History.Read 0);
+         res 0 1 (History.Write (0, 1)) History.ROk;
+       ]);
+  check_violation "invocation with operation outstanding"
+    (entries_of
+       (write_ 0 1 0 1
+       @ [ inv 0 1 History.Try_commit; inv 0 2 (History.Read 0) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Crash-truncation finalization (the try-commit ride-along bugfix)    *)
+(* ------------------------------------------------------------------ *)
+
+(* A try-commit that never gets its response (crash inside try-commit) is
+   completed either way at finalization — committed where later events
+   forced it, aborted otherwise — exactly like the offline checker's
+   completion search. *)
+let test_crash_inside_try_commit () =
+  let offline entries =
+    Checker.opaque (History.of_entries entries)
+  in
+  let agree name entries expect_ok =
+    let sv = stream_verdict entries in
+    let ov = offline entries in
+    let s_ok = Opacity_stream.is_ok sv in
+    let o_ok = match ov with Checker.Serializable _ -> true | _ -> false in
+    Alcotest.(check bool) (name ^ ": streaming") expect_ok s_ok;
+    Alcotest.(check bool) (name ^ ": offline agrees") expect_ok o_ok
+  in
+  (* pending commit may complete as aborted: nothing observed it *)
+  agree "forever-pending try-commit alone"
+    (entries_of
+       (write_ 0 1 0 3 @ [ inv 0 1 History.Try_commit ]))
+    true;
+  (* pending commit is forced to have committed: a later reader saw it *)
+  agree "pending commit observed by later read"
+    (entries_of
+       (write_ 0 1 0 3
+       @ [ inv 0 1 History.Try_commit ]
+       @ read_ 1 2 0 3 @ commit_ 1 2))
+    true;
+  (* an ABORTED commit must stay unobservable even when truncated after *)
+  agree "aborted commit observed after truncation"
+    (entries_of
+       (write_ 0 1 0 3 @ abort_ 0 1 @ read_ 1 2 0 3
+       @ [ inv 1 2 History.Try_commit ]))
+    false;
+  (* a read left pending by the crash (no response) is no violation *)
+  agree "crash inside read"
+    (entries_of
+       (write_ 0 1 0 3 @ commit_ 0 1 @ [ inv 1 2 (History.Read 0) ]))
+    true
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial mutants                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A serial base with unique values exercising every mutation kind:
+   committed overwrites of one object, an aborted writer, and trailing
+   committed readers. Serial + unique values make every mutant a definite
+   opacity violation (no reordering can legalize it). *)
+let mutation_base () =
+  entries_of
+    (List.concat
+       [
+         write_ 0 1 0 1;
+         write_ 0 1 1 5;
+         commit_ 0 1;
+         write_ 1 2 1 9;
+         abort_ 1 2;
+         write_ 0 3 0 2;
+         commit_ 0 3;
+         read_ 1 4 0 2;
+         read_ 1 4 1 5;
+         commit_ 1 4;
+         read_ 0 5 0 2;
+         commit_ 0 5;
+       ])
+
+let test_mutants_flagged () =
+  let base = mutation_base () in
+  check_opaque "mutation base is opaque" base;
+  List.iter
+    (fun kind ->
+      let mutants = History.mutate kind base in
+      if mutants = [] then
+        Alcotest.failf "no %a mutants generated" History.pp_mutation kind;
+      List.iteri
+        (fun i mutant ->
+          match stream_verdict mutant with
+          | Opacity_stream.Violation _ -> ()
+          | v ->
+              Alcotest.failf "%a mutant %d not flagged: %a" History.pp_mutation
+                kind i Opacity_stream.pp_verdict v)
+        mutants)
+    [
+      History.Swap_commit_order;
+      History.Stale_read;
+      History.Resurrect_aborted_write;
+      History.Drop_commit_response;
+    ]
+
+(* The single-response mutants are genuine opacity violations, so the
+   offline checker must reject them too (Drop_commit_response is excluded:
+   it is a well-formedness violation only the streaming checker's
+   outstanding-operation tracking can see — the offline checker works from
+   reconstructed transaction records and may complete the commit). *)
+let test_mutants_offline_cross_check () =
+  let base = mutation_base () in
+  List.iter
+    (fun kind ->
+      List.iteri
+        (fun i mutant ->
+          match Checker.opaque (History.of_entries mutant) with
+          | Checker.Not_serializable _ -> ()
+          | v ->
+              Alcotest.failf "offline missed %a mutant %d: %a"
+                History.pp_mutation kind i Checker.pp_verdict v)
+        (History.mutate kind base))
+    [ History.Swap_commit_order; History.Stale_read;
+      History.Resurrect_aborted_write ]
+
+(* Mutants of real runner histories: every mutant of a serial (round-robin,
+   single-process) run must be flagged by the streaming checker. *)
+let test_mutants_of_runner_history () =
+  let w =
+    Workload.random ~seed:11 ~nprocs:1 ~nobjs:2 ~txs_per_proc:4 ~ops_per_tx:3
+      ()
+  in
+  let o =
+    Runner.run (module Ptm_tms.Tl2) ~retries:2 ~schedule:Runner.Round_robin w
+  in
+  let base = Trace.entries (Machine.trace o.Runner.machine) in
+  Alcotest.(check bool)
+    "runner base is opaque" true
+    (Opacity_stream.is_ok (stream_verdict base));
+  let total = ref 0 in
+  List.iter
+    (fun kind ->
+      List.iteri
+        (fun i mutant ->
+          incr total;
+          match stream_verdict mutant with
+          | Opacity_stream.Violation _ -> ()
+          | v ->
+              Alcotest.failf "runner-history %a mutant %d not flagged: %a"
+                History.pp_mutation kind i Opacity_stream.pp_verdict v)
+        (History.mutate kind base))
+    [
+      History.Swap_commit_order;
+      History.Stale_read;
+      History.Resurrect_aborted_write;
+      History.Drop_commit_response;
+    ];
+  if !total = 0 then Alcotest.fail "runner history produced no mutants"
+
+(* ------------------------------------------------------------------ *)
+(* Runner monitor                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fault_plans =
+  [
+    [];
+    [ Fault.stall ~pid:0 ~at:1 ~steps:30 ];
+    [ Fault.crash ~pid:0 ~at:4 ];
+    [ Fault.crash ~pid:1 ~at:2; Fault.stall ~pid:2 ~at:3 ~steps:12 ];
+    [ Fault.abort ~pid:0 ~op:0; Fault.abort ~pid:2 ~op:0 ];
+    [ Fault.crash ~pid:2 ~at:5; Fault.abort ~pid:1 ~op:0 ];
+  ]
+
+let run_monitored (module T : Tm_intf.S) ~seed ~monitor faults =
+  let w =
+    Workload.random ~seed ~nprocs:3 ~nobjs:2 ~txs_per_proc:2 ~ops_per_tx:3 ()
+  in
+  Runner.run
+    (module T)
+    ~retries:2 ~faults ~max_steps:60_000 ~monitor
+    ~schedule:(Runner.Random_sched seed) w
+
+(* A monitored violation-free run is indistinguishable from an unmonitored
+   one, and the monitor's verdict is Monitor_ok. *)
+let test_monitor_transparent () =
+  List.iter
+    (fun (module T : Tm_intf.S) ->
+      let a = run_monitored (module T) ~seed:5 ~monitor:Runner.Monitor_off []
+      and b =
+        run_monitored (module T) ~seed:5 ~monitor:Runner.Monitor_stream []
+      in
+      Alcotest.(check bool)
+        (T.name ^ ": same history") true
+        (a.Runner.history = b.Runner.history);
+      Alcotest.(check int) (T.name ^ ": same commits") a.Runner.commits
+        b.Runner.commits;
+      Alcotest.(check int) (T.name ^ ": same aborts") a.Runner.aborts
+        b.Runner.aborts;
+      (match a.Runner.monitor with
+      | Runner.Not_monitored -> ()
+      | _ -> Alcotest.failf "%s: unmonitored run reports a monitor" T.name);
+      match b.Runner.monitor with
+      | Runner.Monitor_ok _ -> ()
+      | Runner.Opacity_violation v ->
+          Alcotest.failf "%s: monitor flagged a correct TM: %a" T.name
+            Opacity_stream.pp_violation v
+      | _ -> Alcotest.failf "%s: expected Monitor_ok" T.name)
+    Ptm_tms.Registry.all
+
+(* Registry sweep under fault plans: the monitor's verdict agrees with the
+   offline checker on every run. *)
+let test_monitor_differential_sweep () =
+  let runs = ref 0 in
+  List.iter
+    (fun (module T : Tm_intf.S) ->
+      List.iter
+        (fun faults ->
+          List.iter
+            (fun seed ->
+              incr runs;
+              let o =
+                run_monitored
+                  (module T)
+                  ~seed ~monitor:Runner.Monitor_stream faults
+              in
+              let offline = Checker.opaque o.Runner.history in
+              match (o.Runner.monitor, offline) with
+              | Runner.Monitor_ok _, Checker.Serializable _ -> ()
+              | Runner.Monitor_ok _, Checker.Dont_know _
+              | Runner.Monitor_inconclusive _, _ ->
+                  ()
+              | Runner.Opacity_violation _, Checker.Not_serializable _ -> ()
+              | m, v ->
+                  Alcotest.failf
+                    "%s seed %d: monitor and offline disagree (%s vs %a)"
+                    T.name seed
+                    (match m with
+                    | Runner.Monitor_ok _ -> "ok"
+                    | Runner.Opacity_violation _ -> "violation"
+                    | Runner.Monitor_inconclusive _ -> "inconclusive"
+                    | Runner.Not_monitored -> "not monitored")
+                    Checker.pp_verdict v)
+            [ 1; 2; 3; 4 ])
+        fault_plans)
+    Ptm_tms.Registry.all;
+  Alcotest.(check bool) "swept some runs" true (!runs > 50)
+
+(* ------------------------------------------------------------------ *)
+(* Explorer leaf-by-leaf differential                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The E14-style two-process step-form TM conflict workload; the [final]
+   predicate cross-checks both checkers on every leaf. *)
+let mk_tm_leaf (module T : Tm_intf.S_step) engine () =
+  let module R = Runner.Make_step (T) in
+  let module Sm = Proc.Step in
+  let m = Machine.create ~trace:Trace.Full ~engine ~nprocs:2 () in
+  let ctx = R.init m ~nobjs:2 in
+  Machine.spawn_step m 0
+    (Sm.bind (R.begin_tx ctx ~pid:0) (fun tx ->
+         Sm.bind (R.read ctx tx 0) (function
+           | Error `Abort -> Sm.return ()
+           | Ok _ ->
+               Sm.bind (R.write ctx tx 1 10) (function
+                 | Error `Abort -> Sm.return ()
+                 | Ok () -> Sm.bind (R.commit ctx tx) (fun _ -> Sm.return ())))));
+  Machine.spawn_step m 1
+    (Sm.bind (R.begin_tx ctx ~pid:1) (fun tx ->
+         Sm.bind (R.write ctx tx 0 20) (function
+           | Error `Abort -> Sm.return ()
+           | Ok () ->
+               Sm.bind (R.read ctx tx 1) (function
+                 | Error `Abort -> Sm.return ()
+                 | Ok _ -> Sm.bind (R.commit ctx tx) (fun _ -> Sm.return ())))));
+  m
+
+let leaf_agreement ~crashes (module T : Tm_intf.S_step) =
+  let checked = ref 0 in
+  let final m =
+    incr checked;
+    let entries = Trace.entries (Machine.trace m) in
+    let sv = fst (Opacity_stream.check_entries entries) in
+    let ov = Checker.opaque (History.of_entries entries) in
+    match (ov, sv) with
+    | Checker.Dont_know _, _ | _, Opacity_stream.Inconclusive _ -> true
+    | Checker.Serializable _, Opacity_stream.Opaque -> true
+    | Checker.Not_serializable _, Opacity_stream.Violation _ -> false
+    | _ -> false
+  in
+  let s =
+    Explore.run
+      ~mk:(mk_tm_leaf (module T) Machine.Fibers)
+      ~final ~max_steps:60 ~max_paths:200_000 ~mode:Explore.Dpor ~crashes ()
+  in
+  Alcotest.(check int)
+    (T.name ^ ": no leaf disagreed (or failed both checkers)")
+    0 s.Explore.violations;
+  Alcotest.(check bool) (T.name ^ ": leaves checked") true (!checked > 0)
+
+let test_explorer_leaf_differential () =
+  List.iter
+    (fun tm -> leaf_agreement ~crashes:0 tm)
+    Ptm_tms.Registry.stepwise
+
+let test_explorer_leaf_differential_crashes () =
+  (* crash budget 1: leaves include crash-truncated histories *)
+  leaf_agreement ~crashes:1 (module Ptm_tms.Norec.Stepwise : Tm_intf.S_step)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: random step programs, both engines, replay invariance       *)
+(* ------------------------------------------------------------------ *)
+
+(* Build a random per-process transaction program (reads/writes over a tiny
+   object set) in step form, run it to quiescence on the given engine under
+   a random fault plan, and return the recorded entries. *)
+let random_run ~rng_seed engine =
+  let rng = Random.State.make [| rng_seed |] in
+  let nprocs = 2 + Random.State.int rng 2 in
+  let nobjs = 2 in
+  let tms = Ptm_tms.Registry.stepwise in
+  let (module T : Tm_intf.S_step) =
+    List.nth tms (Random.State.int rng (List.length tms))
+  in
+  let program =
+    (* per pid: txs_per_proc transactions of ops_per_tx random ops; drawn
+       BEFORE the machine exists so both engines replay the same program *)
+    Array.init nprocs (fun _ ->
+        Array.init
+          (1 + Random.State.int rng 2)
+          (fun _ ->
+            Array.init
+              (1 + Random.State.int rng 3)
+              (fun _ ->
+                let x = Random.State.int rng nobjs in
+                if Random.State.bool rng then `R x
+                else `W (x, 1 + Random.State.int rng 5))))
+  in
+  let faults =
+    match Random.State.int rng 4 with
+    | 0 -> []
+    | 1 ->
+        [
+          Fault.crash
+            ~pid:(Random.State.int rng nprocs)
+            ~at:(1 + Random.State.int rng 6);
+        ]
+    | 2 ->
+        [
+          Fault.stall
+            ~pid:(Random.State.int rng nprocs)
+            ~at:(1 + Random.State.int rng 4)
+            ~steps:(5 + Random.State.int rng 20);
+        ]
+    | _ -> [ Fault.abort ~pid:(Random.State.int rng nprocs) ~op:0 ]
+  in
+  let module R = Runner.Make_step (T) in
+  let module Sm = Proc.Step in
+  let m = Machine.create ~trace:Trace.Full ~engine ~nprocs () in
+  let ctx = R.init m ~nobjs in
+  Array.iteri
+    (fun pid txs ->
+      let body ops tx =
+        Array.fold_right
+          (fun op k ->
+            match op with
+            | `R x ->
+                Sm.bind (R.read ctx tx x) (function
+                  | Error `Abort -> Sm.return (Error `Abort)
+                  | Ok _ -> k)
+            | `W (x, v) ->
+                Sm.bind (R.write ctx tx x v) (function
+                  | Error `Abort -> Sm.return (Error `Abort)
+                  | Ok () -> k))
+          ops
+          (Sm.return (Ok ()))
+      in
+      let prog =
+        Array.fold_right
+          (fun ops k ->
+            Sm.bind
+              (R.atomically ctx ~pid ~retries:2 (body ops))
+              (fun _ -> k))
+          txs (Sm.return ())
+      in
+      Machine.spawn_step m pid prog)
+    program;
+  Machine.set_faults m faults;
+  (try Sched.round_robin ~max_steps:20_000 m with Sched.Out_of_steps -> ());
+  Trace.entries (Machine.trace m)
+
+let qcheck_engine_invariance =
+  QCheck.Test.make ~count:220 ~name:"stream verdict: engines, replay, offline"
+    QCheck.(int_bound 1_000_000)
+    (fun rng_seed ->
+      let ef = random_run ~rng_seed Machine.Fibers in
+      let es = random_run ~rng_seed Machine.Steps in
+      let vf = fst (Opacity_stream.check_entries ef) in
+      let vs = fst (Opacity_stream.check_entries es) in
+      (* engine invariance: same program, same schedule, same verdict *)
+      if vf <> vs then
+        QCheck.Test.fail_reportf "engines disagree: %a vs %a"
+          Opacity_stream.pp_verdict vf Opacity_stream.pp_verdict vs;
+      (* replay invariance: incremental feeding (observer-style) matches the
+         one-shot check *)
+      let inc = Opacity_stream.create () in
+      List.iter (Opacity_stream.on_entry inc) ef;
+      if Opacity_stream.verdict inc <> vf then
+        QCheck.Test.fail_reportf "incremental replay changed the verdict";
+      (* checkpoint/resume: verdicts over every prefix are monotone — once
+         latched, feeding the suffix cannot un-latch — and the final verdict
+         matches *)
+      let half = List.length ef / 2 in
+      let pre = List.filteri (fun i _ -> i < half) ef
+      and post = List.filteri (fun i _ -> i >= half) ef in
+      let resumed = Opacity_stream.create () in
+      List.iter (Opacity_stream.on_entry resumed) pre;
+      List.iter (Opacity_stream.on_entry resumed) post;
+      if Opacity_stream.verdict resumed <> vf then
+        QCheck.Test.fail_reportf "split replay changed the verdict";
+      (* offline agreement *)
+      (match (Checker.opaque (History.of_entries ef), vf) with
+      | Checker.Dont_know _, _ | _, Opacity_stream.Inconclusive _ -> ()
+      | Checker.Serializable _, Opacity_stream.Opaque -> ()
+      | Checker.Not_serializable _, Opacity_stream.Violation _ -> ()
+      | ov, sv ->
+          QCheck.Test.fail_reportf "offline %a vs streaming %a"
+            Checker.pp_verdict ov Opacity_stream.pp_verdict sv);
+      true)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "opacity_stream"
+    [
+      ( "litmus",
+        [
+          Alcotest.test_case "fixtures" `Quick test_litmus;
+          Alcotest.test_case "well-formedness" `Quick test_well_formedness;
+          Alcotest.test_case "crash inside try-commit" `Quick
+            test_crash_inside_try_commit;
+        ] );
+      ( "mutants",
+        [
+          Alcotest.test_case "streaming flags every mutant" `Quick
+            test_mutants_flagged;
+          Alcotest.test_case "offline cross-check" `Quick
+            test_mutants_offline_cross_check;
+          Alcotest.test_case "runner-history mutants" `Quick
+            test_mutants_of_runner_history;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "transparent on clean runs" `Quick
+            test_monitor_transparent;
+          Alcotest.test_case "differential sweep under faults" `Quick
+            test_monitor_differential_sweep;
+        ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "leaf-by-leaf agreement" `Quick
+            test_explorer_leaf_differential;
+          Alcotest.test_case "leaf agreement under crash budget" `Quick
+            test_explorer_leaf_differential_crashes;
+        ] );
+      ("qcheck", [ of_q qcheck_engine_invariance ]);
+    ]
