@@ -46,6 +46,35 @@ let sink_conv =
   in
   Arg.conv (parse, print)
 
+(* --fuse off|dispatch|batch:K|full, as the (fuse, batch, incr_dpor)
+   triple Explore.run takes. "dispatch" is the fused loop with no
+   batching and no incremental DPOR state; "batch:K" adds deferred seq
+   ticks; "full" (the default) adds incremental DPOR maintenance. All
+   settings explore the same schedules (see the E16 ablation). *)
+let fuse_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "off" -> Ok (false, 1, false)
+    | "dispatch" -> Ok (true, 1, false)
+    | "full" -> Ok (true, 16, true)
+    | s when String.length s > 6 && String.sub s 0 6 = "batch:" -> (
+        match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+        | Some k when k >= 1 -> Ok (true, k, false)
+        | _ -> Error (`Msg "batch size must be a positive integer"))
+    | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown fusion setting %S (off|dispatch|batch:K|full)"
+               s))
+  in
+  let print ppf = function
+    | false, _, _ -> Fmt.string ppf "off"
+    | true, 1, false -> Fmt.string ppf "dispatch"
+    | true, k, false -> Fmt.pf ppf "batch:%d" k
+    | true, _, true -> Fmt.string ppf "full"
+  in
+  Arg.conv (parse, print)
+
 let lock_conv =
   let parse s =
     match Ptm_mutex.Mutex_registry.by_name s with
@@ -315,6 +344,20 @@ let explore_cmd =
              replays feed the checkpointed prefix from the response log and \
              re-execute only the suffix (0: off, default 4).")
   in
+  let fuse_arg =
+    Arg.(
+      value
+      & opt fuse_conv (true, 16, true)
+      & info [ "fuse" ] ~docv:"MODE"
+          ~doc:
+            "Forced-run fusion: $(b,off) (one scheduler round-trip per \
+             step), $(b,dispatch) (fused inner loop with specialized \
+             per-primitive application), $(b,batch:K) (also defer \
+             trace-seq ticks, flushed every K events) or $(b,full) \
+             (default: batch 16 plus incremental DPOR set maintenance). \
+             Every mode explores the same schedules — the stats line \
+             reports fused/batched instrumentation counters.")
+  in
   let crashes_arg =
     Arg.(
       value & opt int 0
@@ -412,7 +455,8 @@ let explore_cmd =
   in
   let run (module L : Ptm_mutex.Mutex_intf.S) max_steps nprocs max_paths
       reduce domains compare progress_every trace pool checkpoint_stride
-      crashes stalls stall_steps checkpoint_file resume tm_step engine check =
+      (fuse, batch, incr_dpor) crashes stalls stall_steps checkpoint_file
+      resume tm_step engine check =
     (if check <> None && tm_step = None then begin
        Fmt.epr "--check requires a --tm fixture (lock leaves have no TM \
                 history)@.";
@@ -546,8 +590,8 @@ let explore_cmd =
     in
     let search ~mk mode =
       Ptm_machine.Explore.run ~mk ?final ~max_steps ~max_paths ~mode ~domains
-        ~pool ~checkpoint_stride ~fuse:true ~crashes ~stalls ~stall_steps
-        ?checkpoint_file ~resume ?progress
+        ~pool ~checkpoint_stride ~fuse ~batch ~incr_dpor ~crashes ~stalls
+        ~stall_steps ?checkpoint_file ~resume ?progress
         ~progress_every:(max 1 progress_every)
         ()
     in
@@ -626,7 +670,7 @@ let explore_cmd =
     Term.(
       const run $ lock_arg $ steps_arg $ procs_arg $ paths_arg $ reduce_arg
       $ domains_arg $ compare_arg $ progress_arg $ trace_arg $ pool_arg
-      $ stride_arg $ crashes_arg $ stalls_arg $ stall_steps_arg
+      $ stride_arg $ fuse_arg $ crashes_arg $ stalls_arg $ stall_steps_arg
       $ checkpoint_arg $ resume_arg $ tm_step_arg $ engine_arg $ check_arg)
 
 (* ---------------- run (faults) ---------------- *)

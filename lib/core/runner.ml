@@ -33,7 +33,7 @@ module Make (T : Tm_intf.S) = struct
 
   let begin_tx ctx ~pid =
     let id = Value.to_int (Memory.peek ctx.mem ctx.next_id) in
-    Memory.poke ctx.mem ctx.next_id (Value.Int (id + 1));
+    Memory.poke ctx.mem ctx.next_id (Value.int_ (id + 1));
     { pid; id; inner = T.fresh ctx.state ~pid ~id; dead = false }
 
   let guard tx = if tx.dead then invalid_arg "Runner: use of dead transaction"
@@ -48,7 +48,7 @@ module Make (T : Tm_intf.S) = struct
   let fault_abort ctx tx op =
     let cell = ctx.opix.(tx.pid) in
     let k = Value.to_int (Memory.peek ctx.mem cell) in
-    Memory.poke ctx.mem cell (Value.Int (k + 1));
+    Memory.poke ctx.mem cell (Value.int_ (k + 1));
     Machine.abort_due ctx.machine tx.pid ~op_index:k
     && begin
          tx.dead <- true;
@@ -179,7 +179,7 @@ module Make_step (T : Tm_intf.S_step) = struct
   let begin_tx ctx ~pid =
     Sm.suspend @@ fun () ->
     let id = Value.to_int (Memory.peek ctx.mem ctx.next_id) in
-    Memory.poke ctx.mem ctx.next_id (Value.Int (id + 1));
+    Memory.poke ctx.mem ctx.next_id (Value.int_ (id + 1));
     Sm.return { pid; id; inner = T.fresh ctx.state ~pid ~id; dead = false }
 
   let guard tx = if tx.dead then invalid_arg "Runner: use of dead transaction"
@@ -188,7 +188,7 @@ module Make_step (T : Tm_intf.S_step) = struct
     Sm.suspend @@ fun () ->
     let cell = ctx.opix.(tx.pid) in
     let k = Value.to_int (Memory.peek ctx.mem cell) in
-    Memory.poke ctx.mem cell (Value.Int (k + 1));
+    Memory.poke ctx.mem cell (Value.int_ (k + 1));
     if Machine.abort_due ctx.machine tx.pid ~op_index:k then begin
       tx.dead <- true;
       let* () = Sm.note (History.Tx_inv { pid = tx.pid; tx = tx.id; op }) in

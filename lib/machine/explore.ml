@@ -9,14 +9,19 @@ type stats = {
   steps : int;
   replay_steps_saved : int;
   fault_branches : int;
+  fused_steps : int;
+  batched_events : int;
 }
 
 type mode = Naive | Dpor
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "paths=%d cut=%d pruned=%d violations=%d replays=%d steps=%d saved=%d%s%s%s"
+    "paths=%d cut=%d pruned=%d violations=%d replays=%d steps=%d saved=%d%s%s%s%s"
     s.paths s.cut s.pruned s.violations s.replays s.steps s.replay_steps_saved
+    (if s.fused_steps > 0 || s.batched_events > 0 then
+       Printf.sprintf " fused=%d batched=%d" s.fused_steps s.batched_events
+     else "")
     (if s.fault_branches > 0 then
        Printf.sprintf " faults=%d" s.fault_branches
      else "")
@@ -174,6 +179,8 @@ type acc = {
   mutable a_steps : int;
   mutable a_saved : int;
   mutable a_faults : int;  (* fault branches taken (injections performed) *)
+  mutable a_fused : int;  (* steps consumed inside fused inner loops *)
+  mutable a_batched : int;  (* memory events applied by the fused fast arm *)
   mutable a_ticks : int;  (* leaves since the last progress callback *)
 }
 
@@ -185,6 +192,8 @@ type ctx = {
   pool : bool;  (* effective: forced off when [mk] pre-steps the machine *)
   stride : int;  (* checkpoint depth stride; 0 = checkpointing off *)
   fuse : bool;  (* effective: forced off when fault budgets are on *)
+  batch : int;  (* trace-tick batch size of fused runs (>= 1) *)
+  incr_dpor : bool;  (* incremental DPOR set maintenance in fused loops *)
   crashes : int;  (* crash-injection budget per path *)
   stalls : int;  (* stall-injection budget per path *)
   stall_steps : int;  (* slots a stall branch parks its pid for *)
@@ -205,6 +214,8 @@ let fresh_acc () =
     a_steps = 0;
     a_saved = 0;
     a_faults = 0;
+    a_fused = 0;
+    a_batched = 0;
     a_ticks = 0;
   }
 
@@ -220,6 +231,8 @@ let stats_of ctx acc =
     steps = acc.a_steps;
     replay_steps_saved = acc.a_saved;
     fault_branches = acc.a_faults;
+    fused_steps = acc.a_fused;
+    batched_events = acc.a_batched;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -494,8 +507,11 @@ let rec naive_dfs ctx acc st m sched depth0 ~cr ~sl =
         sched_push sched m p
       in
       let n =
-        Machine.run_while_forced m p ~max:(ctx.max_steps - !depth) ~on_step
+        Machine.run_fused m p ~max:(ctx.max_steps - !depth) ~batch:ctx.batch
+          ~on_step
       in
+      acc.a_fused <- acc.a_fused + n;
+      acc.a_batched <- acc.a_batched + Machine.last_batched m;
       depth := !depth + n;
       fused := n
     end
@@ -598,6 +614,23 @@ let stack_make ctx nprocs =
    process was not enabled at that node, conservatively back-track every
    enabled process. A pause (eq < 0) depends on no other process's step,
    so it never scans. *)
+(* Sleeping transitions dependent on the executed (p, ep) wake up: return
+   the subset of [sleep] whose pending transition (read from [pend]) is
+   still independent. Top-level and accumulator-passing so the hot loops
+   call it without allocating a closure per node. *)
+let rec sleep_filter_go sleep p ep pend kept =
+  if sleep = 0 then kept
+  else begin
+    let s = lowest_bit sleep in
+    let kept =
+      if dependent p ep s (Array.unsafe_get pend s) then kept
+      else kept lor (1 lsl s)
+    in
+    sleep_filter_go (sleep land (sleep - 1)) p ep pend kept
+  end
+
+let sleep_filter sleep p ep pend = sleep_filter_go sleep p ep pend 0
+
 let scan_add st stack nprocs q eq =
   if eq >= 0 then begin
     let e = ai_query st (eq lsr 1) q (eq land 1 = 1) in
@@ -630,16 +663,51 @@ let rec dpor_dfs ctx acc st stack m sched depth0 sleep0 ~cr ~sl =
   let fused = ref 0 in
   if ctx.fuse then begin
     let continue_ = ref true in
+    (* Incremental set maintenance (on by default, [ctx.incr_dpor]): inside
+       the fused loop only the stepped process [prev_p] changed between
+       consecutive nodes, so instead of re-deriving everything from the
+       machine each iteration —
+       - crash probe: only [prev_p] can have newly failed;
+       - live mask: only [prev_p] can have left it (a parked process's
+         runnability, stall window and plan cursor are untouched until it
+         is scheduled);
+       - pending array: blit the previous node's and re-probe [prev_p]
+         alone;
+       - conflict scan: for q <> prev_p with unchanged pend, the scan's
+         [ai_query] answer changed only if the one new access-index entry
+         ([prev_ep], pushed at the previous node) sits on q's target
+         address; otherwise the previous node already performed the very
+         same backtrack-set add, and those adds are idempotent (guarded by
+         backtrack/done bits that only grow). Each push is checked against
+         each live q exactly once — at the node right after it — so the
+         skipped scans are provably no-ops and the resulting backtrack
+         sets, and hence all stats, are bit-identical.
+       The first iteration ([!fused = 0]) has no previous fused node and
+       runs the full derivation. *)
+    let prev_p = ref (-1) in
+    let prev_ep = ref pause_pend in
+    let live_c = ref 0 in
     while !continue_ do
-      if !depth >= ctx.max_steps || Machine.any_crashed m then
-        continue_ := false
+      let inc = ctx.incr_dpor && !fused > 0 in
+      let crashed =
+        if inc then Machine.is_failed m !prev_p else Machine.any_crashed m
+      in
+      if !depth >= ctx.max_steps || crashed then continue_ := false
       else begin
-        let live = live_mask m in
+        let live =
+          if inc then
+            if Machine.is_runnable m !prev_p then !live_c
+            else !live_c land lnot (1 lsl !prev_p)
+          else live_mask m
+        in
         let awake = live land lnot !sleep in
         if awake = 0 || awake land (awake - 1) <> 0 then continue_ := false
         else begin
           let p = lowest_bit awake in
-          let ep = Machine.packed_pend m p in
+          let ep =
+            if inc && p <> !prev_p then stack.(!depth - 1).n_pend.(p)
+            else Machine.packed_pend m p
+          in
           if not (live = awake || (ep >= 0 && ep land 1 = 1)) then
             continue_ := false
           else begin
@@ -650,37 +718,51 @@ let rec dpor_dfs ctx acc st stack m sched depth0 sleep0 ~cr ~sl =
             nd.n_done <- 1 lsl p;
             nd.n_sleep <- !sleep;
             nd.n_exec_pend <- ep;
-            for pid = 0 to n - 1 do
-              nd.n_pend.(pid) <-
-                (if live land (1 lsl pid) <> 0 then Machine.packed_pend m pid
-                 else pause_pend)
-            done;
-            for q = 0 to n - 1 do
-              if live land (1 lsl q) <> 0 then
-                scan_add st stack n q nd.n_pend.(q)
-            done;
+            if inc then begin
+              let prev_nd = stack.(!depth - 1) in
+              Array.blit prev_nd.n_pend 0 nd.n_pend 0 n;
+              nd.n_pend.(!prev_p) <-
+                (if live land (1 lsl !prev_p) <> 0 then
+                   Machine.packed_pend m !prev_p
+                 else pause_pend);
+              for q = 0 to n - 1 do
+                if live land (1 lsl q) <> 0 then begin
+                  let eq = Array.unsafe_get nd.n_pend q in
+                  if
+                    q = !prev_p
+                    || (!prev_ep >= 0 && eq >= 0
+                       && eq lsr 1 = !prev_ep lsr 1)
+                  then scan_add st stack n q eq
+                end
+              done
+            end
+            else begin
+              for pid = 0 to n - 1 do
+                nd.n_pend.(pid) <-
+                  (if live land (1 lsl pid) <> 0 then Machine.packed_pend m pid
+                   else pause_pend)
+              done;
+              for q = 0 to n - 1 do
+                if live land (1 lsl q) <> 0 then
+                  scan_add st stack n q nd.n_pend.(q)
+              done
+            end;
             step1 acc m p;
             sched_push sched m p;
             if ep >= 0 then ai_push st (ep lsr 1) (ai_pack !depth p (ep land 1));
             (* sleeping transitions dependent on (p, ep) wake up *)
-            let s' = ref 0 in
-            let rec filter rest =
-              if rest <> 0 then begin
-                let s = lowest_bit rest in
-                if not (dependent p ep s nd.n_pend.(s)) then
-                  s' := !s' lor (1 lsl s);
-                filter (rest land (rest - 1))
-              end
-            in
-            filter !sleep;
-            sleep := !s';
+            sleep := sleep_filter !sleep p ep nd.n_pend;
+            prev_p := p;
+            prev_ep := ep;
+            live_c := live;
             incr depth;
             incr fused;
             maybe_ckpt ctx st m !depth
           end
         end
       end
-    done
+    done;
+    acc.a_fused <- acc.a_fused + !fused
   end;
   (if Machine.any_crashed m then begin
      leaf ctx acc;
@@ -759,16 +841,7 @@ let rec dpor_dfs ctx acc st stack m sched depth0 sleep0 ~cr ~sl =
                let eq = nd.n_pend.(q) in
                (* sleeping transitions dependent on (q, eq) wake up: only
                   the independent ones carry into the child *)
-               let child_sleep = ref 0 in
-               let rec filter rest =
-                 if rest <> 0 then begin
-                   let s = lowest_bit rest in
-                   if not (dependent q eq s nd.n_pend.(s)) then
-                     child_sleep := !child_sleep lor (1 lsl s);
-                   filter (rest land (rest - 1))
-                 end
-               in
-               filter nd.n_sleep;
+               let child_sleep = sleep_filter nd.n_sleep q eq nd.n_pend in
                let m' =
                  if !in_place then begin
                    in_place := false;
@@ -781,7 +854,7 @@ let rec dpor_dfs ctx acc st stack m sched depth0 sleep0 ~cr ~sl =
                sched_push sched m' q;
                if eq >= 0 then
                  ai_push st (eq lsr 1) (ai_pack !depth q (eq land 1));
-               dpor_dfs ctx acc st stack m' sched (!depth + 1) !child_sleep
+               dpor_dfs ctx acc st stack m' sched (!depth + 1) child_sleep
                  ~cr ~sl;
                if eq >= 0 then ai_pop st (eq lsr 1);
                sched_pop sched;
@@ -822,6 +895,8 @@ let empty_stats =
     steps = 0;
     replay_steps_saved = 0;
     fault_branches = 0;
+    fused_steps = 0;
+    batched_events = 0;
   }
 
 let merge_stats s r =
@@ -839,6 +914,8 @@ let merge_stats s r =
     steps = s.steps + r.steps;
     replay_steps_saved = s.replay_steps_saved + r.replay_steps_saved;
     fault_branches = s.fault_branches + r.fault_branches;
+    fused_steps = s.fused_steps + r.fused_steps;
+    batched_events = s.batched_events + r.batched_events;
   }
 
 (* A subtree task for the parallel driver: the schedule prefix reaching the
@@ -873,7 +950,7 @@ let mode_name = function Naive -> "naive" | Dpor -> "dpor"
 
 let journal_header ~mode ~max_steps ~max_paths ~crashes ~stalls ~stall_steps
     ~nprocs ~ntasks =
-  Printf.sprintf "ptm-ckpt 1 %s %d %d %d %d %d %d %d" (mode_name mode)
+  Printf.sprintf "ptm-ckpt 2 %s %d %d %d %d %d %d %d" (mode_name mode)
     max_steps max_paths crashes stalls stall_steps nprocs ntasks
 
 let task_line t =
@@ -890,9 +967,9 @@ let done_line i (s : stats) =
     | Some [] -> "e"
     | Some sched -> String.concat "," (List.map string_of_int sched)
   in
-  Printf.sprintf "d %d %d %d %d %d %d %d %d %d %d %s ." i s.paths s.cut
-    s.pruned s.violations s.replays s.steps s.replay_steps_saved
-    s.fault_branches
+  Printf.sprintf "d %d %d %d %d %d %d %d %d %d %d %d %d %s ." i s.paths
+    s.cut s.pruned s.violations s.replays s.steps s.replay_steps_saved
+    s.fault_branches s.fused_steps s.batched_events
     (if s.exhausted then 1 else 0)
     w
 
@@ -901,7 +978,7 @@ let done_line i (s : stats) =
 let parse_done line =
   match String.split_on_char ' ' (String.trim line) with
   | [ "d"; i; paths; cut; pruned; violations; replays; steps; saved; faults;
-      ex; w; "." ] -> (
+      fused; batched; ex; w; "." ] -> (
       try
         let witness =
           match w with
@@ -922,6 +999,8 @@ let parse_done line =
               steps = int_of_string steps;
               replay_steps_saved = int_of_string saved;
               fault_branches = int_of_string faults;
+              fused_steps = int_of_string fused;
+              batched_events = int_of_string batched;
             } )
       with _ -> None)
   | _ -> None
@@ -1058,17 +1137,8 @@ let expand_node ctx acc st mode task' =
                   (* covered by an earlier sibling's subtree *)
                   acc.a_pruned <- acc.a_pruned + 1
                 else begin
-                  let child_sleep = ref 0 in
-                  let rec filter rest =
-                    if rest <> 0 then begin
-                      let s = lowest_bit rest in
-                      if not (dependent q pend.(q) s pend.(s)) then
-                        child_sleep := !child_sleep lor (1 lsl s);
-                      filter (rest land (rest - 1))
-                    end
-                  in
-                  filter !sleep;
-                  children := child q !child_sleep :: !children;
+                  let child_sleep = sleep_filter !sleep q pend.(q) pend in
+                  children := child q child_sleep :: !children;
                   sleep := !sleep lor (1 lsl q)
                 end
             done;
@@ -1081,11 +1151,13 @@ let expand_node ctx acc st mode task' =
 
 let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
     ?(max_paths = 1_000_000) ?(mode = Naive) ?(domains = 1) ?(pool = true)
-    ?(checkpoint_stride = 4) ?(fuse = true) ?(crashes = 0) ?(stalls = 0)
+    ?(checkpoint_stride = 4) ?(fuse = true) ?(batch = 16)
+    ?(incr_dpor = true) ?(crashes = 0) ?(stalls = 0)
     ?(stall_steps = 3) ?checkpoint_file ?(resume = false) ?progress
     ?(progress_every = 10_000) () =
   if checkpoint_stride < 0 then
     invalid_arg "Explore.run: checkpoint_stride must be >= 0";
+  if batch < 1 then invalid_arg "Explore.run: batch must be >= 1";
   if crashes < 0 || stalls < 0 then
     invalid_arg "Explore.run: fault budgets must be >= 0";
   if stall_steps < 1 then
@@ -1123,6 +1195,8 @@ let run ~mk ?(final = fun _ -> true) ?(max_steps = 60)
       (* fault branches can sprout below single-runnable nodes, which the
          forced-run fusion assumes are branch-free: fuse only at budget 0 *)
       fuse = fuse && crashes = 0 && stalls = 0;
+      batch;
+      incr_dpor;
       crashes;
       stalls;
       stall_steps;

@@ -68,6 +68,15 @@ type stats = {
   fault_branches : int;
       (** fault injections performed as branch points (0 when the crash and
           stall budgets are 0) *)
+  fused_steps : int;
+      (** steps executed inside fused forced-run loops (0 with [fuse]
+          off); a pure instrumentation counter — the same schedules are
+          explored either way *)
+  batched_events : int;
+      (** memory events the fused loops applied through the specialized
+          fast arm ({!Machine.run_fused}); invariant in [batch] and across
+          engines, but 0 under a recording trace sink (the fast arm only
+          engages with the sink off) *)
 }
 
 type mode =
@@ -84,6 +93,8 @@ val run :
   ?pool:bool ->
   ?checkpoint_stride:int ->
   ?fuse:bool ->
+  ?batch:int ->
+  ?incr_dpor:bool ->
   ?crashes:int ->
   ?stalls:int ->
   ?stall_steps:int ->
@@ -133,8 +144,10 @@ val run :
     starts a fresh run (and rewrites the file).
 
     Replay machinery — none of it changes which schedules are explored;
-    [paths]/[cut]/[pruned]/[violations] are bit-identical across every
-    combination of the three switches:
+    [paths]/[cut]/[pruned]/[violations] (and every other stats field
+    except the instrumentation counters [fused_steps]/[batched_events])
+    are bit-identical across every combination of the five switches
+    below, across both machine engines, and for every [batch] value:
 
     - [pool] (default [true]) recycles finished machines through a
       per-worker free list: a sibling replay restarts a pooled machine in
@@ -154,6 +167,17 @@ val run :
       trivial) in a tight loop without a per-step scheduler round-trip.
       Automatically disabled while fault budgets are on (fault branches can
       sprout below single-runnable nodes).
+    - [batch] (default 16; must be [>= 1]) is forwarded to
+      {!Machine.run_fused} for naive-mode forced runs: the fused fast arm
+      defers its trace-seq ticks into a register flushed every [batch]
+      events. Dpor-mode fused loops keep per-step machine stepping (they
+      interleave DPOR bookkeeping between steps), so [batch] does not
+      affect them.
+    - [incr_dpor] (default [true]) maintains the Dpor fused loop's
+      per-node derived state (runnable/crash probes, packed pending
+      events, conflict scans) incrementally from the previous iteration —
+      only the process just stepped can have changed — instead of
+      recomputing it from the whole machine each iteration.
 
     [crashes]/[stalls] (defaults 0) are per-path fault budgets: at every
     branching node with budget remaining, the search adds one crash branch

@@ -67,15 +67,54 @@ let apply t ~pid a p =
 
 (* Hot path for machines whose trace sink is off: identical state
    transition, but skips the [changed] comparison (only the trace entry
-   needs it) and the result tuple. *)
+   needs it), the result tuple, and the generic [Primitive.apply]
+   three-way return. Each branch below is a hand-specialized clone of the
+   corresponding [Primitive.apply] arm — same new value, same response,
+   link invalidation exactly when that arm reports [invalidates] — using
+   the preallocated [Value] constructors so no step allocates. Projection
+   failures ([Tas] on a non-bool, [Faa] on a non-int) raise before any
+   mutation, as in the generic path. A QCheck equivalence test pins the
+   two paths together; keep them in sync. *)
 let apply_fast t ~pid a p =
   let c = cell t a in
-  let link_valid = link_valid c pid in
-  let v', resp, invalidates = Primitive.apply p ~current:c.v ~link_valid in
-  c.v <- v';
-  if invalidates then clear_links c;
-  (match p with Primitive.Ll -> register_link c pid | _ -> ());
-  resp
+  match p with
+  | Primitive.Read -> c.v
+  | Primitive.Ll ->
+      register_link c pid;
+      c.v
+  | Primitive.Write v ->
+      c.v <- v;
+      clear_links c;
+      Value.Unit
+  | Primitive.Fas v ->
+      let old = c.v in
+      c.v <- v;
+      clear_links c;
+      old
+  | Primitive.Cas { expected; desired } ->
+      if Value.equal c.v expected then begin
+        c.v <- desired;
+        clear_links c;
+        Value.true_
+      end
+      else Value.false_
+  | Primitive.Tas ->
+      let old = Value.to_bool c.v in
+      c.v <- Value.true_;
+      if not old then clear_links c;
+      Value.bool_ old
+  | Primitive.Faa k ->
+      let n = Value.to_int c.v in
+      c.v <- Value.int_ (n + k);
+      if k <> 0 then clear_links c;
+      Value.int_ n
+  | Primitive.Sc v ->
+      if link_valid c pid then begin
+        c.v <- v;
+        clear_links c;
+        Value.true_
+      end
+      else Value.false_
 
 (* Forget every cell at address [n] or above, returning the address space
    to an earlier [size]. Used by [Machine.reset] so that programs which

@@ -24,7 +24,10 @@ val apply : t -> pid:int -> addr -> Primitive.t -> Value.t * bool
 val apply_fast : t -> pid:int -> addr -> Primitive.t -> Value.t
 (** Same state transition as {!apply} but returns only the response, skipping
     the [changed] comparison — for hot paths that do not record a trace
-    entry (machines with the {!Trace.Off} sink). *)
+    entry (machines with the {!Trace.Off} sink). Implemented as specialized
+    non-allocating per-primitive branches (responses drawn from the
+    preallocated {!Value} constructors, structurally equal to {!apply}'s);
+    a QCheck test pins the two paths' equivalence. *)
 
 val reset : t -> unit
 (** Restore every cell to its [alloc]-time initial value and clear all

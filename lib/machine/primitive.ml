@@ -17,6 +17,11 @@ let is_rwc = function
   | Read | Write _ | Cas _ | Sc _ | Ll | Tas -> true
   | Faa _ | Fas _ -> false
 
+(* The single semantic definition of every primitive:
+   (new value, response, invalidates links). [Memory.apply_fast] carries a
+   hand-specialized per-branch clone of this function for the
+   trace-off hot path — any change here must be mirrored there (a QCheck
+   equivalence test in test_engines.ml pins the two together). *)
 let apply p ~current ~link_valid =
   match p with
   | Read -> (current, current, false)

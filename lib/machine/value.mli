@@ -19,6 +19,25 @@ val compare : t -> t -> int
 val nil_pid : t
 (** [Pid (-1)], the conventional "no process" marker. *)
 
+(** Preallocated constructors for allocation-free hot paths. Each is
+    structurally equal to the corresponding fresh constructor ([equal],
+    [compare] and [show] cannot tell them apart); they exist so the
+    specialized primitive branches of {!Memory.apply_fast} build no boxed
+    value per step. *)
+
+val true_ : t
+(** [Bool true], preallocated. *)
+
+val false_ : t
+(** [Bool false], preallocated. *)
+
+val bool_ : bool -> t
+(** [Bool b] without allocating. *)
+
+val int_ : int -> t
+(** [Int n]; drawn from a preallocated cache for [-1 <= n <= 255], fresh
+    outside that range. *)
+
 (** Partial projections. Each raises [Invalid_argument] naming the expected
     shape; simulated algorithms use them where the type of a cell is an
     invariant of the algorithm. *)

@@ -1,0 +1,97 @@
+(* Allocation probes for the fused inner loop.
+
+   The fused Steps fast arm is contractually allocation-free per step:
+   outcomes stay unwrapped, responses come from [Memory.apply_fast]'s
+   preallocated values, and seq ticks are deferred. [Gc.minor_words] is a
+   cumulative allocation counter (collections don't reset it), so a
+   per-step cost of p words shows up as delta(N) = c + N*p for a per-call
+   constant c — measuring two run lengths cancels c and pins p = 0 exactly,
+   with no tolerance. *)
+
+open Ptm_machine
+open Ptm_core
+
+module Sm = Proc.Step
+
+let minor_delta f =
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+(* A statically-constructed spinner: every step reads [addr], and the
+   continuation returns the same cyclic outcome cell, so the program
+   contributes zero allocation per step — anything measured comes from the
+   machine's inner loop. *)
+let spawn_spinner m addr =
+  Machine.spawn_step m 0 (fun _k ->
+      let rec o =
+        Proc.Step.Wants_mem ({ Proc.addr; prim = Primitive.Read }, fun _ -> o)
+      in
+      o)
+
+let test_fused_steps_zero_alloc () =
+  let m =
+    Machine.create ~trace:Trace.Off ~engine:Machine.Steps ~nprocs:1 ()
+  in
+  let addr = Machine.alloc m ~name:"x" (Value.Int 0) in
+  spawn_spinner m addr;
+  let run n =
+    ignore (Machine.run_fused m 0 ~max:n ~batch:16 ~on_step:ignore : int)
+  in
+  (* One short run first so any one-time lazy initialization lands outside
+     the measured windows. *)
+  run 64;
+  let d1 = minor_delta (fun () -> run 10_000) in
+  let d4 = minor_delta (fun () -> run 40_000) in
+  Alcotest.(check (float 0.))
+    (Printf.sprintf "delta(10k) = delta(40k): %.0f vs %.0f words" d1 d4)
+    d1 d4
+
+(* End-to-end guard on the canonical undolog DPOR fixture: the fused
+   exploration must not allocate more minor words than the unfused one.
+   Single-domain exploration is deterministic, so this holds exactly, not
+   just statistically. *)
+let explore_minor_words ~fuse =
+  let module R = Runner.Make_step (Ptm_tms.Undolog.Stepwise) in
+  let mk () =
+    let m =
+      Machine.create ~trace:Trace.Off ~engine:Machine.Steps ~nprocs:2 ()
+    in
+    let ctx = R.init m ~nobjs:2 in
+    for pid = 0 to 1 do
+      Machine.spawn_step m pid
+        (Sm.bind
+           (R.atomically ctx ~pid ~retries:1 (fun tx ->
+                Sm.bind (R.write ctx tx (pid mod 2) (pid + 1)) (function
+                  | Error `Abort -> Sm.return (Error `Abort)
+                  | Ok () -> R.read ctx tx ((pid + 1) mod 2))))
+           (fun _ -> Sm.return ()))
+    done;
+    m
+  in
+  minor_delta (fun () ->
+      ignore
+        (Explore.run ~mk ~max_steps:28 ~mode:Explore.Dpor ~fuse ()
+          : Explore.stats))
+
+let test_fused_explore_allocates_less () =
+  (* Warm-up pass for both settings, then measure. *)
+  ignore (explore_minor_words ~fuse:false : float);
+  ignore (explore_minor_words ~fuse:true : float);
+  let unfused = explore_minor_words ~fuse:false in
+  let fused = explore_minor_words ~fuse:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "fused %.0f <= unfused %.0f minor words" fused unfused)
+    true (fused <= unfused)
+
+let () =
+  Alcotest.run "perf-alloc"
+    [
+      ( "fused-loop",
+        [
+          Alcotest.test_case "zero words per fused step" `Quick
+            test_fused_steps_zero_alloc;
+          Alcotest.test_case "fused exploration allocates no more" `Quick
+            test_fused_explore_allocates_less;
+        ] );
+    ]
