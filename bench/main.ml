@@ -17,6 +17,9 @@
      E15 Extension: streaming opacity checker throughput (events/s) and
          resident state on a 10^6-event history; cells join
          BENCH_explore.json under the same perf gate
+     E17 Extension: heavy-traffic load engine — abort rate, throughput
+         (committed tx/s), RMRs and wasted work per TM per mix, whole
+         registry incl. the sharded family; emits BENCH_load.json
 
    plus Bechamel wall-clock micro-benchmarks of the simulator itself (one
    Test.make per experiment driver and per TM).
@@ -1141,6 +1144,135 @@ let e16 ?(quick = false) () =
     (sp vs_fibers ("ostm-step", "dpor"));
   List.rev !cells
 
+(* ------------------------------------------------------------------ *)
+(* E17: heavy-traffic load — the Load engine over the whole registry   *)
+(* ------------------------------------------------------------------ *)
+
+(* Serve a closed-loop saturating client population against every registry
+   TM (including the sharded family) under three mixes, with online RMR
+   accounting and the streaming opacity monitor sampling a quarter of the
+   clients. The gate metric (leaves_per_sec field, for key compatibility
+   with the shared parser) is committed transactions per host second; the
+   rest of the cell records the abort/wasted-work/RMR profile. A monitor
+   verdict of inconclusive (checker frontier cap: the sharded TMs' long
+   commit windows accumulate order-ambiguous overlapping commits) is
+   reported, not failed; a violation fails the experiment. *)
+let e17_mixes =
+  [
+    ( "read-mostly",
+      {
+        Load.dist = Workload.Uniform;
+        hotspot = None;
+        write_ratio = 0.2;
+        ops_min = 2;
+        ops_max = 6;
+      } );
+    ( "zipf-write",
+      {
+        Load.dist = Workload.Zipf 0.9;
+        hotspot = None;
+        write_ratio = 0.8;
+        ops_min = 2;
+        ops_max = 6;
+      } );
+    ( "hot-key",
+      {
+        Load.dist = Workload.Uniform;
+        hotspot = Some (4, 0.5);
+        write_ratio = 0.5;
+        ops_min = 2;
+        ops_max = 6;
+      } );
+  ]
+
+let e17 ?(quick = false) () =
+  hr
+    "E17. Heavy-traffic load: abort rate / throughput / RMR / wasted work \
+     per TM per mix";
+  let clients = if quick then 32 else 256 in
+  let txs = if quick then 10 else 101 in
+  let tms = Ptm_tms.Registry.all @ Ptm_tms.Registry.sharded in
+  let cells = ref [] in
+  let violations = ref 0 in
+  let total = ref 0 in
+  Fmt.pr "%-12s %-12s %9s %7s %7s %10s %10s %8s %-8s@." "tm" "mix"
+    "committed" "abrt%" "failed" "steps" "wasted" "tx/s" "monitor";
+  List.iter
+    (fun (module T : Tm_intf.S) ->
+      List.iter
+        (fun (mname, mix) ->
+          let cfg =
+            {
+              Load.default_config with
+              Load.clients;
+              nprocs = 4;
+              nobjs = 64;
+              txs_per_client = txs;
+              mix;
+              seed = 17;
+              sample = 0.25;
+              rmr_models = Ptm_machine.Rmr.all_models;
+            }
+          in
+          let r = Load.run (module T) cfg in
+          total := !total + r.Load.committed;
+          let mon =
+            match r.Load.verdict with
+            | None -> "off"
+            | Some Opacity_stream.Opaque -> "opaque"
+            | Some (Opacity_stream.Violation v) ->
+                incr violations;
+                Fmt.epr "e17: %s/%s OPACITY VIOLATION %a@." T.name mname
+                  Opacity_stream.pp_violation v;
+                "VIOLATION"
+            | Some (Opacity_stream.Inconclusive _) -> "inconcl."
+          in
+          Fmt.pr "%-12s %-12s %9d %6.1f%% %7d %10d %10d %8.0f %-8s@." T.name
+            mname r.Load.committed
+            (100. *. Load.abort_rate r)
+            r.Load.failed r.Load.steps r.Load.wasted (Load.throughput r) mon;
+          let rmr m = try List.assoc m r.Load.rmr with Not_found -> 0 in
+          cells :=
+            ( ((T.name, mname, "off", "load", "full"), Load.throughput r),
+              Printf.sprintf
+                "    {\"config\":%S,\"mode\":%S,\"trace\":\"off\",\
+                 \"engine\":\"load\",\"fuse\":\"full\",\"clients\":%d,\
+                 \"txs_per_client\":%d,\"committed\":%d,\"aborted\":%d,\
+                 \"failed\":%d,\"unstarted\":%d,\"steps\":%d,\
+                 \"wasted\":%d,\"idle\":%d,\"abort_rate\":%.4f,\
+                 \"rmr_ccwt\":%d,\"rmr_ccwb\":%d,\"rmr_dsm\":%d,\
+                 \"monitor\":%S,\"elapsed_s\":%.4f,\
+                 \"leaves_per_sec\":%.1f}"
+                T.name mname clients txs r.Load.committed r.Load.aborted
+                r.Load.failed r.Load.unstarted r.Load.steps r.Load.wasted
+                r.Load.idle (Load.abort_rate r) (rmr "CC/WT") (rmr "CC/WB")
+                (rmr "DSM") mon r.Load.wall (Load.throughput r) )
+            :: !cells)
+        e17_mixes)
+    tms;
+  Fmt.pr
+    "@.%d transactions committed across %d cells; monitor sampled 25%% of \
+     clients.@.(tx/s = committed transactions per host second — the gate \
+     metric; the sharded@.TMs pay cross-shard coordination in steps and \
+     RMRs; 'inconcl.' = checker@.frontier cap hit: undecided, never \
+     wrong.)@."
+    !total (List.length !cells);
+  if !violations > 0 then begin
+    Fmt.pr "e17: %d opacity violation(s)@." !violations;
+    exit 1
+  end;
+  List.rev !cells
+
+(* BENCH_load.json for the E17 cells, same line-per-cell shape as
+   BENCH_explore.json so the gate shares one parser. *)
+let write_load_json cells =
+  let oc = open_out "BENCH_load.json" in
+  output_string oc "{\n  \"experiment\": \"E17\",\n  \"cells\": [\n";
+  output_string oc (String.concat ",\n" (List.map snd cells));
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  Fmt.pr "Wrote BENCH_load.json (%d cells).@." (List.length cells)
+
 (* One BENCH_explore.json for the CI perf-smoke artifact, fed by the E11,
    E14, E15 and E16 cells together. *)
 let write_explore_json cells =
@@ -1155,158 +1287,183 @@ let write_explore_json cells =
 (* CI perf-regression gate                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* Compare a fresh E11 + E14 + E15 + E16 measurement against the
-   checked-in BENCH_explore.json. The re-measurement uses the same budgets
-   as the baseline run (full, not quick) so the cells are like-for-like;
-   machines still differ in absolute speed, so ratios are normalised by
-   the median now/baseline ratio across cells, and a cell fails if its
-   normalised throughput drops by more than 25%. The dpor-par2 rows are
-   excluded: domain-spawn latency dominates those sub-millisecond searches
-   and they swing several-fold run to run (see EXPERIMENTS.md E11). Cells
-   are keyed by (config, mode, trace, engine, fuse); baselines predating
-   the engine ablation carry no "engine" field and default to "fibers",
-   and ones predating the fusion ablation carry no "fuse" field and
-   default to "full" — without the fuse key an E16 ablation cell would
-   silently shadow the same configuration's full-speed baseline. A
-   baseline holding the same key twice is ambiguous (which line would the
-   fresh cell compare against?) and is rejected loudly. The baseline is
-   parsed BEFORE the fresh cells rewrite the file.
+(* Compare fresh measurements against the checked-in baselines. Two cell
+   families, gated independently with separate medians (explorer leaves/s
+   and load-engine tx/s respond differently to the host):
+
+   - explore: E11 + E14 + E15 + E16 vs BENCH_explore.json (required — the
+     explorer gate has history, and losing it silently would be a hole);
+   - load: E17 vs BENCH_load.json (a missing baseline file warns and
+     skips the family).
+
+   In both families a fresh cell with no baseline entry warns and is
+   skipped (counted, reported), never failed — landing a new bench family
+   or a new TM doesn't require a two-step baseline dance; the gate is
+   nonzero only on regression of known cells.
+
+   The re-measurement uses the same budgets as the baseline run so the
+   cells are like-for-like; machines still differ in absolute speed, so
+   ratios are normalised by the per-family median now/baseline ratio, and
+   a cell fails if its normalised throughput drops by more than 25%. The
+   dpor-par2 rows are excluded: domain-spawn latency dominates those
+   sub-millisecond searches and they swing several-fold run to run (see
+   EXPERIMENTS.md E11). Cells are keyed by (config, mode, trace, engine,
+   fuse); baselines predating the engine ablation carry no "engine" field
+   and default to "fibers", and ones predating the fusion ablation carry
+   no "fuse" field and default to "full". A baseline holding the same key
+   twice is ambiguous (which line would the fresh cell compare against?)
+   and is rejected loudly. Baselines are parsed BEFORE the fresh cells
+   rewrite the files.
 
    A cell below the threshold on the first measurement is not yet a
-   failure: on a shared box a single sub-second DPOR cell can land 30%+
-   under its own typical rate when a scheduler preemption or major GC
-   hits mid-window (observed back to back with no code change). If any
-   cell fails, the whole suite is measured once more and the faster of
+   failure: on a shared box a single sub-second cell can land 30%+ under
+   its own typical rate when a scheduler preemption or major GC hits
+   mid-window (observed back to back with no code change). If any cell of
+   a family fails, that family is measured once more and the faster of
    the two samples is kept per cell — a genuine regression is slow in
    both passes; a one-off spike is not. *)
-let gate ?(quick = false) () =
-  let file = "BENCH_explore.json" in
-  let baseline =
-    if not (Sys.file_exists file) then begin
-      Fmt.pr "gate: no %s baseline — run e11 and commit it first@." file;
+let parse_baseline file =
+  let ic =
+    try open_in file
+    with Sys_error msg ->
+      Fmt.pr "gate: cannot read %s: %s@." file msg;
       exit 2
-    end;
-    let ic =
-      try open_in file
-      with Sys_error msg ->
-        Fmt.pr "gate: cannot read %s: %s@." file msg;
-        exit 2
-    in
-    let cells = ref [] in
-    let malformed = ref 0 in
-    let find line pat =
-      (* first index where [pat] occurs in [line], if any *)
-      let n = String.length line and m = String.length pat in
-      let rec go i =
-        if i + m > n then None
-        else if String.sub line i m = pat then Some (i + m)
-        else go (i + 1)
-      in
-      go 0
-    in
-    (try
-       while true do
-         let line = input_line ic in
-         let sfield key =
-           match find line (Printf.sprintf "\"%s\":\"" key) with
-           | None -> None
-           | Some start ->
-               let stop = String.index_from line start '"' in
-               Some (String.sub line start (stop - start))
-         in
-         let ffield key =
-           match find line (Printf.sprintf "\"%s\":" key) with
-           | None -> None
-           | Some start ->
-               let stop = ref start in
-               while
-                 !stop < String.length line
-                 && (match line.[!stop] with
-                    | '0' .. '9' | '.' | '-' | 'e' | '+' -> true
-                    | _ -> false)
-               do
-                 incr stop
-               done;
-               Some (float_of_string (String.sub line start (!stop - start)))
-         in
-         (* a truncated or hand-mangled baseline must degrade to a clear
-            diagnostic, not an uncaught Failure/Not_found from the field
-            scanners *)
-         match
-           (try
-              (sfield "config", sfield "mode", sfield "trace",
-               sfield "engine", sfield "fuse", ffield "leaves_per_sec")
-            with Not_found | Failure _ | Invalid_argument _ ->
-              incr malformed;
-              (None, None, None, None, None, None))
-         with
-         | Some c, Some m, Some t, e, f, Some l ->
-             let e = Option.value e ~default:"fibers" in
-             let f = Option.value f ~default:"full" in
-             cells := ((c, m, t, e, f), l) :: !cells
-         | _ -> ()
-       done
-     with End_of_file -> ());
-    close_in ic;
-    if !malformed > 0 then
-      Fmt.pr
-        "gate: warning: skipped %d malformed line(s) in %s — regenerate \
-         with `bench/main.exe -- e11`@."
-        !malformed file;
-    List.iter
-      (fun (((c, m, t, e, f), _) as cell) ->
-        if
-          List.exists (fun c' -> c' != cell && fst c' = fst cell) !cells
-        then begin
-          Fmt.pr
-            "gate: duplicate baseline key \
-             (config=%s, mode=%s, trace=%s, engine=%s, fuse=%s) in %s — \
-             ambiguous comparison; regenerate with `bench/main.exe -- \
-             e11` and commit it@."
-            c m t e f file;
-          exit 2
-        end)
-      !cells;
-    !cells
   in
-  if baseline = [] then begin
+  let cells = ref [] in
+  let malformed = ref 0 in
+  let find line pat =
+    (* first index where [pat] occurs in [line], if any *)
+    let n = String.length line and m = String.length pat in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub line i m = pat then Some (i + m)
+      else go (i + 1)
+    in
+    go 0
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       let sfield key =
+         match find line (Printf.sprintf "\"%s\":\"" key) with
+         | None -> None
+         | Some start ->
+             let stop = String.index_from line start '"' in
+             Some (String.sub line start (stop - start))
+       in
+       let ffield key =
+         match find line (Printf.sprintf "\"%s\":" key) with
+         | None -> None
+         | Some start ->
+             let stop = ref start in
+             while
+               !stop < String.length line
+               && (match line.[!stop] with
+                  | '0' .. '9' | '.' | '-' | 'e' | '+' -> true
+                  | _ -> false)
+             do
+               incr stop
+             done;
+             Some (float_of_string (String.sub line start (!stop - start)))
+       in
+       (* a truncated or hand-mangled baseline must degrade to a clear
+          diagnostic, not an uncaught Failure/Not_found from the field
+          scanners *)
+       match
+         (try
+            (sfield "config", sfield "mode", sfield "trace",
+             sfield "engine", sfield "fuse", ffield "leaves_per_sec")
+          with Not_found | Failure _ | Invalid_argument _ ->
+            incr malformed;
+            (None, None, None, None, None, None))
+       with
+       | Some c, Some m, Some t, e, f, Some l ->
+           let e = Option.value e ~default:"fibers" in
+           let f = Option.value f ~default:"full" in
+           cells := ((c, m, t, e, f), l) :: !cells
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  if !malformed > 0 then
+    Fmt.pr
+      "gate: warning: skipped %d malformed line(s) in %s — regenerate and \
+       commit the artifact@."
+      !malformed file;
+  List.iter
+    (fun (((c, m, t, e, f), _) as cell) ->
+      if List.exists (fun c' -> c' != cell && fst c' = fst cell) !cells
+      then begin
+        Fmt.pr
+          "gate: duplicate baseline key \
+           (config=%s, mode=%s, trace=%s, engine=%s, fuse=%s) in %s — \
+           ambiguous comparison; regenerate the artifact and commit it@."
+          c m t e f file;
+        exit 2
+      end)
+    !cells;
+  !cells
+
+let gate ?(quick = false) () =
+  let explore_file = "BENCH_explore.json" in
+  let load_file = "BENCH_load.json" in
+  if not (Sys.file_exists explore_file) then begin
+    Fmt.pr "gate: no %s baseline — run e11 and commit it first@." explore_file;
+    exit 2
+  end;
+  let explore_baseline = parse_baseline explore_file in
+  if explore_baseline = [] then begin
     Fmt.pr
       "gate: no cells parsed from %s — corrupt or empty baseline? \
        regenerate with `bench/main.exe -- e11` and commit it@."
-      file;
+      explore_file;
     exit 2
   end;
-  let measure () =
-    e11 ~quick () @ e14 ~quick () @ e15 ~quick () @ e16 ~quick ()
+  let load_baseline =
+    if Sys.file_exists load_file then parse_baseline load_file
+    else begin
+      Fmt.pr
+        "gate: no %s baseline — every load cell will warn-and-skip until \
+         one is committed (run `bench/main.exe -- e17`)@."
+        load_file;
+      []
+    end
   in
-  let ratios_of fresh =
+  let skipped_unknown = ref 0 in
+  let ratios_of ?(warn = true) baseline fresh =
     List.filter_map
-      (fun (((_, m, _, _, _) as key), l_now) ->
+      (fun (((c, m, t, e, f) as key), l_now) ->
         if m = "dpor-par2" then None
         else
           match List.assoc_opt key baseline with
           | Some l_base when l_base > 0. -> Some (key, l_now /. l_base)
-          | _ -> None)
+          | Some _ -> None
+          | None ->
+              if warn then begin
+                incr skipped_unknown;
+                Fmt.pr
+                  "gate: new cell (config=%s, mode=%s, trace=%s, engine=%s, \
+                   fuse=%s) absent from baseline — skipped; commit the \
+                   regenerated artifact to gate it@."
+                  c m t e f
+              end;
+              None)
       (List.map fst fresh)
   in
   let eval ratios =
-    let sorted = List.sort compare (List.map snd ratios) in
-    let median =
-      match sorted with
-      | [] ->
-          Fmt.pr "gate: no comparable cells@.";
-          exit 2
-      | l -> List.nth l (List.length l / 2)
-    in
-    (median, List.filter (fun (_, r) -> r /. median < 0.75) ratios)
+    match List.sort compare (List.map snd ratios) with
+    | [] -> None
+    | sorted ->
+        let median = List.nth sorted (List.length sorted / 2) in
+        Some (median, List.filter (fun (_, r) -> r /. median < 0.75) ratios)
   in
   let report ratios median =
-    Fmt.pr "%-14s %-10s %-5s %-7s %-9s %9s %10s@." "config" "mode" "trace"
+    Fmt.pr "%-14s %-12s %-5s %-7s %-9s %9s %10s@." "config" "mode" "trace"
       "engine" "fuse" "now/base" "normalised";
     List.iter
       (fun ((c, m, t, e, f), r) ->
         let norm = r /. median in
-        Fmt.pr "%-14s %-10s %-5s %-7s %-9s %8.2fx %9.2fx %s@." c m t e f r
+        Fmt.pr "%-14s %-12s %-5s %-7s %-9s %8.2fx %9.2fx %s@." c m t e f r
           norm
           (if norm < 0.75 then "FAIL" else ""))
       ratios;
@@ -1314,47 +1471,80 @@ let gate ?(quick = false) () =
       "@.median now/baseline ratio: %.2fx (machine-speed normalisation)@."
       median
   in
-  let fresh = measure () in
-  hr
-    "Perf gate: fresh E11 + E14 + E15 + E16 vs checked-in \
-     BENCH_explore.json";
-  let ratios = ratios_of fresh in
-  let median, failed = eval ratios in
-  report ratios median;
-  let fresh, failed =
-    if failed = [] then (fresh, failed)
-    else begin
-      Fmt.pr
-        "gate: %d cell(s) below threshold — re-measuring once (a genuine \
-         regression is slow in both passes; a scheduler/GC spike is not)@."
-        (List.length failed);
-      let second = measure () in
-      (* per cell keep the faster of the two samples, JSON line included,
-         so the written artifact matches the comparison *)
-      let best =
-        List.map
-          (fun (((key, l1), _) as c1) ->
-            match
-              List.find_opt (fun ((k2, _), _) -> k2 = key) second
-            with
-            | Some (((_, l2), _) as c2) when l2 > l1 -> c2
-            | _ -> c1)
-          fresh
-      in
-      let ratios = ratios_of best in
-      let median, failed = eval ratios in
-      hr "Perf gate, second pass: best of two samples per cell";
-      report ratios median;
-      (best, failed)
-    end
+  (* Measure one family, compare against its baseline, re-measure once on
+     failure keeping the faster sample per cell. Returns the cells to
+     write back plus the cells still failing. *)
+  let run_family ~family ~required ~baseline ~measure =
+    let fresh = measure () in
+    hr (Printf.sprintf "Perf gate [%s]: fresh cells vs checked-in baseline"
+          family);
+    let ratios = ratios_of baseline fresh in
+    match eval ratios with
+    | None ->
+        if required && baseline <> [] then begin
+          Fmt.pr
+            "gate[%s]: baseline shares no keys with the fresh cells — \
+             stale artifact? regenerate and commit it@."
+            family;
+          exit 2
+        end;
+        Fmt.pr "gate[%s]: no comparable cells — nothing gated@." family;
+        (fresh, [])
+    | Some (median, failed) ->
+        report ratios median;
+        if failed = [] then (fresh, [])
+        else begin
+          Fmt.pr
+            "gate[%s]: %d cell(s) below threshold — re-measuring once (a \
+             genuine regression is slow in both passes; a scheduler/GC \
+             spike is not)@."
+            family (List.length failed);
+          let second = measure () in
+          (* per cell keep the faster of the two samples, JSON line
+             included, so the written artifact matches the comparison *)
+          let best =
+            List.map
+              (fun (((key, l1), _) as c1) ->
+                match
+                  List.find_opt (fun ((k2, _), _) -> k2 = key) second
+                with
+                | Some (((_, l2), _) as c2) when l2 > l1 -> c2
+                | _ -> c1)
+              fresh
+          in
+          let ratios = ratios_of ~warn:false baseline best in
+          match eval ratios with
+          | None -> (best, [])
+          | Some (median, failed) ->
+              hr
+                (Printf.sprintf
+                   "Perf gate [%s], second pass: best of two samples per cell"
+                   family);
+              report ratios median;
+              (best, failed)
+        end
   in
-  write_explore_json fresh;
+  let explore_fresh, explore_failed =
+    run_family ~family:"explore" ~required:true ~baseline:explore_baseline
+      ~measure:(fun () ->
+        e11 ~quick () @ e14 ~quick () @ e15 ~quick () @ e16 ~quick ())
+  in
+  let load_fresh, load_failed =
+    run_family ~family:"load" ~required:false ~baseline:load_baseline
+      ~measure:(fun () -> e17 ~quick ())
+  in
+  write_explore_json explore_fresh;
+  write_load_json load_fresh;
+  if !skipped_unknown > 0 then
+    Fmt.pr "gate: %d new cell(s) skipped (absent from baseline)@."
+      !skipped_unknown;
+  let failed = explore_failed @ load_failed in
   if failed <> [] then begin
     Fmt.pr "gate: %d cell(s) regressed by more than 25%% vs baseline@."
       (List.length failed);
     exit 1
   end
-  else Fmt.pr "gate: no cell regressed by more than 25%%. OK@."
+  else Fmt.pr "gate: no known cell regressed by more than 25%%. OK@."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks of the experiment drivers      *)
@@ -1432,6 +1622,7 @@ let () =
   else if arg "e14" then ignore (e14 ~quick ())
   else if arg "e15" then ignore (e15 ~quick ())
   else if arg "e16" then ignore (e16 ~quick ())
+  else if arg "e17" then write_load_json (e17 ~quick ())
   else if arg "gate" then gate ~quick:true ()
   else begin
     e1 ();
@@ -1449,6 +1640,7 @@ let () =
     let c15 = e15 ~quick () in
     let c16 = e16 ~quick () in
     write_explore_json (c11 @ c14 @ c15 @ c16);
+    write_load_json (e17 ~quick ());
     if not fast then bechamel_pass ()
   end;
   Fmt.pr "@.done.@."

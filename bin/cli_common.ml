@@ -1,0 +1,123 @@
+(* Converters and argument builders shared by the ptm subcommands (one
+   module per subcommand family: Cli_tables, Cli_workload, Cli_explore,
+   Cli_load; this module owns everything used from more than one). *)
+
+open Cmdliner
+
+let tm_conv =
+  let parse s =
+    match Ptm_tms.Registry.by_name s with
+    | Some tm -> Ok tm
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown TM %S (try: %s)" s
+               (String.concat ", "
+                  (List.map
+                     (fun (module T : Ptm_core.Tm_intf.S) -> T.name)
+                     (((module Ptm_tms.Oneshot) : Ptm_core.Tm_intf.tm)
+                     :: Ptm_tms.Registry.all)))))
+  in
+  let print ppf (module T : Ptm_core.Tm_intf.S) = Fmt.string ppf T.name in
+  Arg.conv (parse, print)
+
+let sink_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "off" -> Ok Ptm_machine.Trace.Off
+    | "full" -> Ok Ptm_machine.Trace.Full
+    | s when String.length s > 5 && String.sub s 0 5 = "ring:" -> (
+        match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+        | Some n when n > 0 -> Ok (Ptm_machine.Trace.Ring n)
+        | _ -> Error (`Msg "ring capacity must be a positive integer"))
+    | _ -> Error (`Msg (Printf.sprintf "unknown trace sink %S (off|ring:N|full)" s))
+  in
+  let print ppf = function
+    | Ptm_machine.Trace.Off -> Fmt.string ppf "off"
+    | Ptm_machine.Trace.Ring n -> Fmt.pf ppf "ring:%d" n
+    | Ptm_machine.Trace.Full -> Fmt.string ppf "full"
+  in
+  Arg.conv (parse, print)
+
+(* --fuse off|dispatch|batch:K|full, as the (fuse, batch, incr_dpor)
+   triple Explore.run takes. "dispatch" is the fused loop with no
+   batching and no incremental DPOR state; "batch:K" adds deferred seq
+   ticks; "full" (the default) adds incremental DPOR maintenance. All
+   settings explore the same schedules (see the E16 ablation). *)
+let fuse_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "off" -> Ok (false, 1, false)
+    | "dispatch" -> Ok (true, 1, false)
+    | "full" -> Ok (true, 16, true)
+    | s when String.length s > 6 && String.sub s 0 6 = "batch:" -> (
+        match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+        | Some k when k >= 1 -> Ok (true, k, false)
+        | _ -> Error (`Msg "batch size must be a positive integer"))
+    | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown fusion setting %S (off|dispatch|batch:K|full)"
+               s))
+  in
+  let print ppf = function
+    | false, _, _ -> Fmt.string ppf "off"
+    | true, 1, false -> Fmt.string ppf "dispatch"
+    | true, k, false -> Fmt.pf ppf "batch:%d" k
+    | true, _, true -> Fmt.string ppf "full"
+  in
+  Arg.conv (parse, print)
+
+let lock_conv =
+  let parse s =
+    match Ptm_mutex.Mutex_registry.by_name s with
+    | Some l -> Ok l
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown lock %S (try: %s)" s
+               (String.concat ", "
+                  (List.map
+                     (fun (module L : Ptm_mutex.Mutex_intf.S) -> L.name)
+                     Ptm_mutex.Mutex_registry.all))))
+  in
+  let print ppf (module L : Ptm_mutex.Mutex_intf.S) = Fmt.string ppf L.name in
+  Arg.conv (parse, print)
+
+let fault_conv =
+  let parse s =
+    match Ptm_machine.Fault.parse s with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Ptm_machine.Fault.pp)
+
+let tm_arg =
+  Arg.(
+    value
+    & opt tm_conv (module Ptm_tms.Dstm : Ptm_core.Tm_intf.S)
+    & info [ "tm" ] ~docv:"TM" ~doc:"TM implementation to drive.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let nprocs_arg =
+  Arg.(value & opt int 3 & info [ "procs" ] ~docv:"N" ~doc:"Processes.")
+
+let nobjs_arg =
+  Arg.(value & opt int 4 & info [ "objs" ] ~docv:"K" ~doc:"T-objects.")
+
+let txs_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "txs" ] ~docv:"T" ~doc:"Transactions per process.")
+
+let faults_arg =
+  Arg.(
+    value & opt_all fault_conv []
+    & info [ "faults"; "fault" ] ~docv:"SPEC"
+        ~doc:
+          "Fault to inject (repeatable): $(b,crash:P@K) crash-stops \
+           process P at its K-th scheduled slot, $(b,stall:P@K+D) parks \
+           it for D slots, $(b,abort:P@K) spuriously aborts its K-th \
+           t-operation before the TM sees it.")

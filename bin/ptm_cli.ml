@@ -1,5 +1,7 @@
 (* Command-line front-end: run individual experiments, ad-hoc workloads and
-   checks without editing code.
+   checks without editing code. One module per subcommand family
+   (Cli_tables, Cli_workload, Cli_explore, Cli_load, with shared
+   converters in Cli_common); this module only assembles the group.
 
      dune exec bin/ptm_cli.exe -- --help
      dune exec bin/ptm_cli.exe -- lemma2 --tm dstm -i 6
@@ -7,858 +9,10 @@
      dune exec bin/ptm_cli.exe -- rmr --lock mcs --lock tas -n 4 -n 16
      dune exec bin/ptm_cli.exe -- workload --tm tl2 --seed 3 --check opacity
      dune exec bin/ptm_cli.exe -- tightness -m 64
+     dune exec bin/ptm_cli.exe -- load --tm norec.x4 --clients 128 --sample 0.2
 *)
 
 open Cmdliner
-
-let tm_conv =
-  let parse s =
-    match Ptm_tms.Registry.by_name s with
-    | Some tm -> Ok tm
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown TM %S (try: %s)" s
-               (String.concat ", "
-                  (List.map
-                     (fun (module T : Ptm_core.Tm_intf.S) -> T.name)
-                     (((module Ptm_tms.Oneshot) : Ptm_core.Tm_intf.tm)
-                     :: Ptm_tms.Registry.all)))))
-  in
-  let print ppf (module T : Ptm_core.Tm_intf.S) = Fmt.string ppf T.name in
-  Arg.conv (parse, print)
-
-let sink_conv =
-  let parse s =
-    match String.lowercase_ascii s with
-    | "off" -> Ok Ptm_machine.Trace.Off
-    | "full" -> Ok Ptm_machine.Trace.Full
-    | s when String.length s > 5 && String.sub s 0 5 = "ring:" -> (
-        match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
-        | Some n when n > 0 -> Ok (Ptm_machine.Trace.Ring n)
-        | _ -> Error (`Msg "ring capacity must be a positive integer"))
-    | _ -> Error (`Msg (Printf.sprintf "unknown trace sink %S (off|ring:N|full)" s))
-  in
-  let print ppf = function
-    | Ptm_machine.Trace.Off -> Fmt.string ppf "off"
-    | Ptm_machine.Trace.Ring n -> Fmt.pf ppf "ring:%d" n
-    | Ptm_machine.Trace.Full -> Fmt.string ppf "full"
-  in
-  Arg.conv (parse, print)
-
-(* --fuse off|dispatch|batch:K|full, as the (fuse, batch, incr_dpor)
-   triple Explore.run takes. "dispatch" is the fused loop with no
-   batching and no incremental DPOR state; "batch:K" adds deferred seq
-   ticks; "full" (the default) adds incremental DPOR maintenance. All
-   settings explore the same schedules (see the E16 ablation). *)
-let fuse_conv =
-  let parse s =
-    match String.lowercase_ascii s with
-    | "off" -> Ok (false, 1, false)
-    | "dispatch" -> Ok (true, 1, false)
-    | "full" -> Ok (true, 16, true)
-    | s when String.length s > 6 && String.sub s 0 6 = "batch:" -> (
-        match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
-        | Some k when k >= 1 -> Ok (true, k, false)
-        | _ -> Error (`Msg "batch size must be a positive integer"))
-    | _ ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown fusion setting %S (off|dispatch|batch:K|full)"
-               s))
-  in
-  let print ppf = function
-    | false, _, _ -> Fmt.string ppf "off"
-    | true, 1, false -> Fmt.string ppf "dispatch"
-    | true, k, false -> Fmt.pf ppf "batch:%d" k
-    | true, _, true -> Fmt.string ppf "full"
-  in
-  Arg.conv (parse, print)
-
-let lock_conv =
-  let parse s =
-    match Ptm_mutex.Mutex_registry.by_name s with
-    | Some l -> Ok l
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown lock %S (try: %s)" s
-               (String.concat ", "
-                  (List.map
-                     (fun (module L : Ptm_mutex.Mutex_intf.S) -> L.name)
-                     Ptm_mutex.Mutex_registry.all))))
-  in
-  let print ppf (module L : Ptm_mutex.Mutex_intf.S) = Fmt.string ppf L.name in
-  Arg.conv (parse, print)
-
-let tm_arg =
-  Arg.(
-    value
-    & opt tm_conv (module Ptm_tms.Dstm : Ptm_core.Tm_intf.S)
-    & info [ "tm" ] ~docv:"TM" ~doc:"TM implementation to drive.")
-
-(* ---------------- lemma2 ---------------- *)
-
-let lemma2_cmd =
-  let i_arg =
-    Arg.(value & opt int 4 & info [ "i" ] ~docv:"I" ~doc:"Read-set size.")
-  in
-  let run tm i =
-    Fmt.pr "%a@." Ptm_bounds.Lemma2.pp_report (Ptm_bounds.Lemma2.run tm ~i)
-  in
-  Cmd.v
-    (Cmd.info "lemma2" ~doc:"Execute the Lemma 2 / Figure 1 construction.")
-    Term.(const run $ tm_arg $ i_arg)
-
-(* ---------------- thm3 ---------------- *)
-
-let thm3_cmd =
-  let m_arg =
-    Arg.(value & opt int 8 & info [ "m" ] ~docv:"M" ~doc:"Read-set size.")
-  in
-  let run tm m =
-    Fmt.pr "%a@." Ptm_bounds.Theorem3.pp_report (Ptm_bounds.Theorem3.run tm ~m)
-  in
-  Cmd.v
-    (Cmd.info "thm3"
-       ~doc:
-         "Run the Theorem 3 adversary: validation step complexity and \
-          last-read space.")
-    Term.(const run $ tm_arg $ m_arg)
-
-(* ---------------- tightness ---------------- *)
-
-let tightness_cmd =
-  let m_arg =
-    Arg.(value & opt int 32 & info [ "m" ] ~docv:"M" ~doc:"Read-set size.")
-  in
-  let run m =
-    List.iter
-      (fun tm ->
-        Fmt.pr "%a@." Ptm_bounds.Tightness.pp_cost
-          (Ptm_bounds.Tightness.read_only_cost tm ~m))
-      Ptm_tms.Registry.all
-  in
-  Cmd.v
-    (Cmd.info "tightness"
-       ~doc:"Solo read-only transaction cost for every TM (Section 6).")
-    Term.(const run $ m_arg)
-
-(* ---------------- rmr ---------------- *)
-
-let rmr_cmd =
-  let locks_arg =
-    Arg.(
-      value
-      & opt_all lock_conv Ptm_mutex.Mutex_registry.all
-      & info [ "lock" ] ~docv:"LOCK" ~doc:"Lock(s) to measure (repeatable).")
-  in
-  let ns_arg =
-    Arg.(
-      value
-      & opt_all int [ 2; 4; 8; 16 ]
-      & info [ "n" ] ~docv:"N" ~doc:"Process count(s) (repeatable).")
-  in
-  let rounds_arg =
-    Arg.(
-      value & opt int 2
-      & info [ "rounds" ] ~docv:"R" ~doc:"Critical sections per process.")
-  in
-  let run locks ns rounds =
-    let rows = Ptm_bounds.Theorem9.sweep ~locks ~ns ~rounds () in
-    List.iter (fun r -> Fmt.pr "%a@." Ptm_bounds.Theorem9.pp_row r) rows
-  in
-  Cmd.v
-    (Cmd.info "rmr"
-       ~doc:"Measure mutex RMR totals in all three cost models (Theorem 9).")
-    Term.(const run $ locks_arg $ ns_arg $ rounds_arg)
-
-(* ---------------- workload ---------------- *)
-
-let workload_cmd =
-  let seed_arg =
-    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
-  in
-  let nprocs_arg =
-    Arg.(value & opt int 3 & info [ "procs" ] ~docv:"N" ~doc:"Processes.")
-  in
-  let nobjs_arg =
-    Arg.(value & opt int 4 & info [ "objs" ] ~docv:"K" ~doc:"T-objects.")
-  in
-  let txs_arg =
-    Arg.(
-      value & opt int 3
-      & info [ "txs" ] ~docv:"T" ~doc:"Transactions per process.")
-  in
-  let check_arg =
-    Arg.(
-      value
-      & opt (enum [ ("opacity", `Opacity); ("strict", `Strict) ]) `Opacity
-      & info [ "check" ] ~docv:"CRITERION" ~doc:"Consistency criterion.")
-  in
-  let run tm seed nprocs nobjs txs check =
-    let w =
-      Ptm_core.Workload.random ~seed ~nprocs ~nobjs ~txs_per_proc:txs
-        ~ops_per_tx:3 ()
-    in
-    let o =
-      Ptm_core.Runner.run tm ~retries:2
-        ~schedule:(Ptm_core.Runner.Random_sched seed) w
-    in
-    Fmt.pr "%a@." Ptm_core.History.pp o.Ptm_core.Runner.history;
-    Fmt.pr "commits %d, aborted attempts %d@." o.Ptm_core.Runner.commits
-      o.Ptm_core.Runner.aborts;
-    let verdict =
-      match check with
-      | `Opacity -> Ptm_core.Checker.opaque o.Ptm_core.Runner.history
-      | `Strict ->
-          Ptm_core.Checker.strictly_serializable o.Ptm_core.Runner.history
-    in
-    Fmt.pr "%a@." Ptm_core.Checker.pp_verdict verdict;
-    match verdict with
-    | Ptm_core.Checker.Serializable _ -> ()
-    | _ -> exit 1
-  in
-  Cmd.v
-    (Cmd.info "workload"
-       ~doc:"Run a random workload on a TM and check the recorded history.")
-    Term.(
-      const run $ tm_arg $ seed_arg $ nprocs_arg $ nobjs_arg $ txs_arg
-      $ check_arg)
-
-(* ---------------- trace ---------------- *)
-
-let trace_cmd =
-  let seed_arg =
-    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
-  in
-  let timeline_arg =
-    Arg.(
-      value & flag
-      & info [ "timeline" ]
-          ~doc:"Render a per-process ASCII timeline instead of the event log.")
-  in
-  let run tm seed timeline =
-    let w =
-      Ptm_core.Workload.random ~seed ~nprocs:2 ~nobjs:2 ~txs_per_proc:1
-        ~ops_per_tx:2 ()
-    in
-    let o =
-      Ptm_core.Runner.run tm ~schedule:(Ptm_core.Runner.Random_sched seed) w
-    in
-    let trace = Ptm_machine.Machine.trace o.Ptm_core.Runner.machine in
-    if timeline then Ptm_core.Timeline.pp Fmt.stdout trace
-    else
-      Ptm_machine.Trace.iter trace (fun entry ->
-          Fmt.pr "%a@."
-            (Ptm_machine.Trace.pp_entry ~pp_note:Ptm_core.History.pp_note)
-            entry)
-  in
-  Cmd.v
-    (Cmd.info "trace"
-       ~doc:
-         "Dump the full annotated execution (every primitive application and \
-          t-operation boundary) of a small workload.")
-    Term.(const run $ tm_arg $ seed_arg $ timeline_arg)
-
-(* ---------------- explore ---------------- *)
-
-let explore_cmd =
-  let lock_arg =
-    Arg.(
-      value
-      & opt lock_conv (module Ptm_mutex.Tas : Ptm_mutex.Mutex_intf.S)
-      & info [ "lock" ] ~docv:"LOCK" ~doc:"Lock to model-check.")
-  in
-  let steps_arg =
-    Arg.(
-      value & opt int 22
-      & info [ "max-steps" ] ~docv:"D" ~doc:"Per-path step bound.")
-  in
-  let procs_arg =
-    Arg.(
-      value & opt int 2
-      & info [ "procs" ] ~docv:"N" ~doc:"Number of contending processes.")
-  in
-  let paths_arg =
-    Arg.(
-      value & opt int 4_000_000
-      & info [ "max-paths" ] ~docv:"P"
-          ~doc:
-            "Leaf budget. On exhaustion partial stats are reported with \
-             'exhausted'.")
-  in
-  let reduce_arg =
-    Arg.(
-      value & flag
-      & info [ "reduce" ]
-          ~doc:
-            "Use sleep-set + persistent-set partial-order reduction (DPOR) \
-             instead of the naive enumeration.")
-  in
-  let domains_arg =
-    Arg.(
-      value & opt int 1
-      & info [ "domains" ] ~docv:"J"
-          ~doc:"Split the root branches across $(docv) parallel domains.")
-  in
-  let compare_arg =
-    Arg.(
-      value & flag
-      & info [ "compare" ]
-          ~doc:
-            "Run both the naive and the reduced search and report the \
-             reduction ratio.")
-  in
-  let progress_arg =
-    Arg.(
-      value & opt int 0
-      & info [ "progress" ] ~docv:"K"
-          ~doc:"Print a progress line to stderr every $(docv) leaves (0: off).")
-  in
-  let trace_arg =
-    Arg.(
-      value
-      & opt sink_conv Ptm_machine.Trace.Off
-      & info [ "trace" ] ~docv:"SINK"
-          ~doc:
-            "Trace sink for the explored machines: $(b,off) (allocation-free \
-             hot path, the default — verdicts here are crash-based and need \
-             no trace), $(b,ring:N) (keep the last N entries) or $(b,full).")
-  in
-  let pool_arg =
-    Arg.(
-      value
-      & opt (enum [ ("on", true); ("off", false) ]) true
-      & info [ "pool" ] ~docv:"on|off"
-          ~doc:
-            "Machine pooling: recycle finished machines through a free list \
-             instead of rebuilding one per sibling replay (default on).")
-  in
-  let stride_arg =
-    Arg.(
-      value & opt int 4
-      & info [ "checkpoint-stride" ] ~docv:"K"
-          ~doc:
-            "Lay a memory checkpoint every $(docv) schedule depths; sibling \
-             replays feed the checkpointed prefix from the response log and \
-             re-execute only the suffix (0: off, default 4).")
-  in
-  let fuse_arg =
-    Arg.(
-      value
-      & opt fuse_conv (true, 16, true)
-      & info [ "fuse" ] ~docv:"MODE"
-          ~doc:
-            "Forced-run fusion: $(b,off) (one scheduler round-trip per \
-             step), $(b,dispatch) (fused inner loop with specialized \
-             per-primitive application), $(b,batch:K) (also defer \
-             trace-seq ticks, flushed every K events) or $(b,full) \
-             (default: batch 16 plus incremental DPOR set maintenance). \
-             Every mode explores the same schedules — the stats line \
-             reports fused/batched instrumentation counters.")
-  in
-  let crashes_arg =
-    Arg.(
-      value & opt int 0
-      & info [ "crashes" ] ~docv:"K"
-          ~doc:
-            "Per-path crash budget: at every branching node with budget \
-             left, add one crash-stop branch per live process (default 0: \
-             no fault branches, bit-identical to the fault-free search).")
-  in
-  let stalls_arg =
-    Arg.(
-      value & opt int 0
-      & info [ "stalls" ] ~docv:"K"
-          ~doc:
-            "Per-path stall budget: add one stall branch per live \
-             not-already-stalled process at each branching node (default 0).")
-  in
-  let stall_steps_arg =
-    Arg.(
-      value & opt int 3
-      & info [ "stall-steps" ] ~docv:"D"
-          ~doc:"Scheduled slots each injected stall parks its process for.")
-  in
-  let checkpoint_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "checkpoint" ] ~docv:"FILE"
-          ~doc:
-            "Journal frontier progress to $(docv) (crash-safe, flushed per \
-             finished subtree task) so a killed exploration can be resumed.")
-  in
-  let resume_arg =
-    Arg.(
-      value & flag
-      & info [ "resume" ]
-          ~doc:
-            "Resume from the $(b,--checkpoint) journal: finished tasks are \
-             restored from disk, only the rest are explored.")
-  in
-  let tm_step_arg =
-    let step_conv =
-      let parse s =
-        match Ptm_tms.Registry.stepwise_by_name s with
-        | Some tm -> Ok tm
-        | None ->
-            Error
-              (`Msg
-                (Printf.sprintf "unknown step-form TM %S (try: %s)" s
-                   (String.concat ", "
-                      (List.map
-                         (fun (module T : Ptm_core.Tm_intf.S_step) -> T.name)
-                         Ptm_tms.Registry.stepwise))))
-      in
-      let print ppf (module T : Ptm_core.Tm_intf.S_step) =
-        Fmt.string ppf T.name
-      in
-      Arg.conv (parse, print)
-    in
-    Arg.(
-      value
-      & opt (some step_conv) None
-      & info [ "tm" ] ~docv:"TM"
-          ~doc:
-            "Model-check a step-form TM (one read-write transaction per \
-             process) instead of a lock; see $(b,--engine).")
-  in
-  let engine_arg =
-    Arg.(
-      value
-      & opt
-          (enum [ ("fibers", `Fibers); ("steps", `Steps); ("both", `Both) ])
-          `Fibers
-      & info [ "engine" ] ~docv:"ENGINE"
-          ~doc:
-            "Machine backend for the $(b,--tm) fixture: $(b,fibers), \
-             $(b,steps), or $(b,both) (run twice and require identical \
-             stats).")
-  in
-  let check_arg =
-    Arg.(
-      value
-      & opt
-          (some
-             (enum
-                [ ("stream", `Stream); ("offline", `Offline); ("both", `Both) ]))
-          None
-      & info [ "check" ] ~docv:"CHECKER"
-          ~doc:
-            "Check every leaf's TM history for opacity (requires $(b,--tm); \
-             forces trace retention): $(b,stream) (the streaming \
-             TMS-automaton checker), $(b,offline) (the serialization-search \
-             checker), or $(b,both) (run both and require per-leaf \
-             agreement; any disagreement is a violation).")
-  in
-  let run (module L : Ptm_mutex.Mutex_intf.S) max_steps nprocs max_paths
-      reduce domains compare progress_every trace pool checkpoint_stride
-      (fuse, batch, incr_dpor) crashes stalls stall_steps checkpoint_file
-      resume tm_step engine check =
-    (if check <> None && tm_step = None then begin
-       Fmt.epr "--check requires a --tm fixture (lock leaves have no TM \
-                history)@.";
-       exit 2
-     end);
-    let trace = if check <> None then Ptm_machine.Trace.Full else trace in
-    let checked = Atomic.make 0
-    and disagreements = Atomic.make 0
-    and undecided = Atomic.make 0 in
-    let final =
-      Option.map
-        (fun mode m ->
-          Atomic.incr checked;
-          let entries =
-            Ptm_machine.Trace.entries (Ptm_machine.Machine.trace m)
-          in
-          match mode with
-          | `Stream -> (
-              match fst (Ptm_core.Opacity_stream.check_entries entries) with
-              | Ptm_core.Opacity_stream.Opaque -> true
-              | Ptm_core.Opacity_stream.Inconclusive _ ->
-                  Atomic.incr undecided;
-                  true
-              | Ptm_core.Opacity_stream.Violation _ as v ->
-                  Fmt.epr "leaf opacity violation: %a@."
-                    Ptm_core.Opacity_stream.pp_verdict v;
-                  false)
-          | `Offline -> (
-              match
-                Ptm_core.Checker.opaque (Ptm_core.History.of_entries entries)
-              with
-              | Ptm_core.Checker.Serializable _ -> true
-              | Ptm_core.Checker.Dont_know _ ->
-                  Atomic.incr undecided;
-                  true
-              | Ptm_core.Checker.Not_serializable _ as v ->
-                  Fmt.epr "leaf opacity violation: %a@."
-                    Ptm_core.Checker.pp_verdict v;
-                  false)
-          | `Both -> (
-              let sv = fst (Ptm_core.Opacity_stream.check_entries entries) in
-              let ov =
-                Ptm_core.Checker.opaque (Ptm_core.History.of_entries entries)
-              in
-              match (ov, sv) with
-              | Ptm_core.Checker.Dont_know _, _
-              | _, Ptm_core.Opacity_stream.Inconclusive _ ->
-                  Atomic.incr undecided;
-                  true
-              | ( Ptm_core.Checker.Serializable _,
-                  Ptm_core.Opacity_stream.Opaque ) ->
-                  true
-              | ( Ptm_core.Checker.Not_serializable _,
-                  Ptm_core.Opacity_stream.Violation _ ) ->
-                  (* the checkers agree the leaf is broken *)
-                  Fmt.epr "leaf opacity violation (both checkers): %a@."
-                    Ptm_core.Opacity_stream.pp_verdict sv;
-                  false
-              | _ ->
-                  Atomic.incr disagreements;
-                  Fmt.epr
-                    "checker DISAGREEMENT on a leaf: offline=%a stream=%a@."
-                    Ptm_core.Checker.pp_verdict ov
-                    Ptm_core.Opacity_stream.pp_verdict sv;
-                  false))
-        check
-    in
-    let report_check () =
-      if check <> None then
-        Fmt.pr
-          "opacity: %d leaves checked, %d disagreements, %d undecided@."
-          (Atomic.get checked)
-          (Atomic.get disagreements)
-          (Atomic.get undecided)
-    in
-    let mk () =
-      let m = Ptm_machine.Machine.create ~trace ~nprocs () in
-      let lock = L.create m ~nprocs in
-      let c = Ptm_machine.Machine.alloc m ~name:"c" (Ptm_machine.Value.Int 0) in
-      (* occupancy lives in a machine cell (peek/poke: no events, same
-         schedule tree) so machine pooling can reset it between runs *)
-      let occ =
-        Ptm_machine.Machine.alloc m ~name:"occ" (Ptm_machine.Value.Int 0)
-      in
-      let mem = Ptm_machine.Machine.memory m in
-      let occ_read () =
-        match Ptm_machine.Memory.peek mem occ with
-        | Ptm_machine.Value.Int o -> o
-        | _ -> assert false
-      in
-      let occ_write o =
-        Ptm_machine.Memory.poke mem occ (Ptm_machine.Value.Int o)
-      in
-      for pid = 0 to nprocs - 1 do
-        Ptm_machine.Machine.spawn m pid (fun () ->
-            L.enter lock ~pid;
-            occ_write (occ_read () + 1);
-            assert (occ_read () = 1);
-            let v = Ptm_machine.Proc.read_int c in
-            Ptm_machine.Proc.write c (Ptm_machine.Value.Int (v + 1));
-            assert (occ_read () = 1);
-            occ_write (occ_read () - 1);
-            L.exit_cs lock ~pid)
-      done;
-      m
-    in
-    (* Step-form TM fixture: each process runs one instrumented read-write
-       transaction (write own object, read the neighbour's), expressible on
-       either machine backend. *)
-    let mk_tm (module T : Ptm_core.Tm_intf.S_step) eng () =
-      let module Sm = Ptm_machine.Proc.Step in
-      let module R = Ptm_core.Runner.Make_step (T) in
-      let m = Ptm_machine.Machine.create ~trace ~engine:eng ~nprocs () in
-      let ctx = R.init m ~nobjs:2 in
-      for pid = 0 to nprocs - 1 do
-        Ptm_machine.Machine.spawn_step m pid
-          (Sm.bind
-             (R.atomically ctx ~pid ~retries:1 (fun tx ->
-                  Sm.bind (R.write ctx tx (pid mod 2) (pid + 1)) (fun _ ->
-                      R.read ctx tx ((pid + 1) mod 2))))
-             (fun _ -> Sm.return ()))
-      done;
-      m
-    in
-    let progress =
-      if progress_every <= 0 then None
-      else
-        Some
-          (fun (s : Ptm_machine.Explore.stats) ->
-            Fmt.epr "... %d paths, %d cut, %d pruned@." s.paths s.cut s.pruned)
-    in
-    let search ~mk mode =
-      Ptm_machine.Explore.run ~mk ?final ~max_steps ~max_paths ~mode ~domains
-        ~pool ~checkpoint_stride ~fuse ~batch ~incr_dpor ~crashes ~stalls
-        ~stall_steps ?checkpoint_file ~resume ?progress
-        ~progress_every:(max 1 progress_every)
-        ()
-    in
-    let mode =
-      if reduce then Ptm_machine.Explore.Dpor else Ptm_machine.Explore.Naive
-    in
-    try
-      match tm_step with
-      | Some ((module T : Ptm_core.Tm_intf.S_step) as tmod) -> begin
-          let name eng =
-            Printf.sprintf "%s/%s" T.name
-              (match eng with
-              | Ptm_machine.Machine.Fibers -> "fibers"
-              | Ptm_machine.Machine.Steps -> "steps")
-          in
-          let search_tm eng =
-            search ~mk:(mk_tm tmod eng) mode
-          in
-          match engine with
-          | `Fibers ->
-              let s = search_tm Ptm_machine.Machine.Fibers in
-              Fmt.pr "%s: %a@." (name Ptm_machine.Machine.Fibers)
-                Ptm_machine.Explore.pp_stats s;
-              report_check ();
-              if s.Ptm_machine.Explore.violations > 0 then exit 1
-          | `Steps ->
-              let s = search_tm Ptm_machine.Machine.Steps in
-              Fmt.pr "%s: %a@." (name Ptm_machine.Machine.Steps)
-                Ptm_machine.Explore.pp_stats s;
-              report_check ();
-              if s.Ptm_machine.Explore.violations > 0 then exit 1
-          | `Both ->
-              let a = search_tm Ptm_machine.Machine.Fibers in
-              let b = search_tm Ptm_machine.Machine.Steps in
-              Fmt.pr "%s: %a@." (name Ptm_machine.Machine.Fibers)
-                Ptm_machine.Explore.pp_stats a;
-              Fmt.pr "%s: %a@." (name Ptm_machine.Machine.Steps)
-                Ptm_machine.Explore.pp_stats b;
-              report_check ();
-              if a <> b then begin
-                Fmt.epr "engines disagree: the backends must be bit-identical@.";
-                exit 1
-              end;
-              if a.Ptm_machine.Explore.violations > 0 then exit 1
-        end
-      | None ->
-          if compare then begin
-            let naive = search ~mk Ptm_machine.Explore.Naive in
-            let reduced = search ~mk Ptm_machine.Explore.Dpor in
-            Fmt.pr "%s naive: %a@." L.name Ptm_machine.Explore.pp_stats naive;
-            Fmt.pr "%s dpor:  %a@." L.name Ptm_machine.Explore.pp_stats reduced;
-            Fmt.pr "reduction: %.1fx fewer paths@."
-              (Ptm_machine.Explore.reduction_ratio ~naive ~reduced);
-            if naive.Ptm_machine.Explore.violations > 0
-               || reduced.Ptm_machine.Explore.violations > 0
-            then exit 1
-          end
-          else begin
-            let s = search ~mk mode in
-            Fmt.pr "%s: %a@." L.name Ptm_machine.Explore.pp_stats s;
-            if s.Ptm_machine.Explore.violations > 0 then exit 1
-          end
-    with Ptm_machine.Machine.Invariant { pid; slot; seq; what } ->
-      Fmt.epr
-        "machine invariant violated: %s (pid %d, scheduled slot %d, schedule \
-         index %d)@."
-        what pid slot seq;
-      exit 2
-  in
-  Cmd.v
-    (Cmd.info "explore"
-       ~doc:
-         "Exhaustively model-check a lock's mutual exclusion over every \
-          schedule up to a step bound, optionally with partial-order \
-          reduction and parallel domains.")
-    Term.(
-      const run $ lock_arg $ steps_arg $ procs_arg $ paths_arg $ reduce_arg
-      $ domains_arg $ compare_arg $ progress_arg $ trace_arg $ pool_arg
-      $ stride_arg $ fuse_arg $ crashes_arg $ stalls_arg $ stall_steps_arg
-      $ checkpoint_arg $ resume_arg $ tm_step_arg $ engine_arg $ check_arg)
-
-(* ---------------- run (faults) ---------------- *)
-
-let fault_conv =
-  let parse s =
-    match Ptm_machine.Fault.parse s with
-    | Ok spec -> Ok spec
-    | Error msg -> Error (`Msg msg)
-  in
-  Arg.conv (parse, Ptm_machine.Fault.pp)
-
-let run_cmd =
-  let seed_arg =
-    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
-  in
-  let nprocs_arg =
-    Arg.(value & opt int 3 & info [ "procs" ] ~docv:"N" ~doc:"Processes.")
-  in
-  let nobjs_arg =
-    Arg.(value & opt int 4 & info [ "objs" ] ~docv:"K" ~doc:"T-objects.")
-  in
-  let txs_arg =
-    Arg.(
-      value & opt int 3
-      & info [ "txs" ] ~docv:"T" ~doc:"Transactions per process.")
-  in
-  let faults_arg =
-    Arg.(
-      value & opt_all fault_conv []
-      & info [ "faults"; "fault" ] ~docv:"SPEC"
-          ~doc:
-            "Fault to inject (repeatable): $(b,crash:P@K) crash-stops \
-             process P at its K-th scheduled slot, $(b,stall:P@K+D) parks \
-             it for D slots, $(b,abort:P@K) spuriously aborts its K-th \
-             t-operation before the TM sees it.")
-  in
-  let retries_arg =
-    Arg.(
-      value & opt int 4
-      & info [ "retries" ] ~docv:"R"
-          ~doc:"Retries per aborted transaction attempt.")
-  in
-  let backoff_arg =
-    Arg.(
-      value
-      & opt (some (t3 ~sep:',' int int int)) None
-      & info [ "backoff" ] ~docv:"BASE,FACTOR,CAP"
-          ~doc:
-            "Exponential back-off between retries, realized as machine \
-             steps: before retry k wait min(CAP, BASE*FACTOR^k) slots \
-             (default: retry immediately).")
-  in
-  let livelock_arg =
-    Arg.(
-      value & opt int 0
-      & info [ "livelock-window" ] ~docv:"W"
-          ~doc:
-            "Arm the livelock detector: $(docv) consecutive aborts with no \
-             commit anywhere trip it, ending the run and naming the starved \
-             processes (0: off).")
-  in
-  let max_steps_arg =
-    Arg.(
-      value & opt (some int) None
-      & info [ "max-steps" ] ~docv:"S"
-          ~doc:
-            "Scheduler step budget; exceeding it reports out-of-steps \
-             instead of failing (crashed lock holders make survivors spin).")
-  in
-  let monitor_arg =
-    Arg.(
-      value
-      & opt
-          (enum
-             [
-               ("off", Ptm_core.Runner.Monitor_off);
-               ("stream", Ptm_core.Runner.Monitor_stream);
-             ])
-          Ptm_core.Runner.Monitor_off
-      & info [ "monitor" ] ~docv:"MONITOR"
-          ~doc:
-            "Online opacity monitor: $(b,stream) attaches the streaming \
-             TMS-automaton checker to the run's trace notes (the run itself \
-             is unaffected) and reports its verdict; a violation exits \
-             nonzero.")
-  in
-  let run tm seed nprocs nobjs txs faults retries backoff livelock_window
-      max_steps monitor =
-    let w =
-      Ptm_core.Workload.random ~seed ~nprocs ~nobjs ~txs_per_proc:txs
-        ~ops_per_tx:3 ()
-    in
-    let policy =
-      match backoff with
-      | None -> Ptm_core.Runner.Immediate
-      | Some (base, factor, cap) ->
-          Ptm_core.Runner.Backoff { base; factor; cap; max_retries = retries }
-    in
-    let o =
-      Ptm_core.Runner.run tm ~retries ~policy ~faults
-        ?livelock_window:(if livelock_window > 0 then Some livelock_window else None)
-        ?max_steps ~monitor
-        ~schedule:(Ptm_core.Runner.Random_sched seed) w
-    in
-    Fmt.pr "%a@." Ptm_core.History.pp o.Ptm_core.Runner.history;
-    List.iter
-      (fun f -> Fmt.pr "fault: %a@." Ptm_machine.Fault.pp f)
-      faults;
-    Fmt.pr "commits %d, aborted attempts %d (%d injected)@."
-      o.Ptm_core.Runner.commits o.Ptm_core.Runner.aborts
-      (List.length o.Ptm_core.Runner.history.Ptm_core.History.injected);
-    if o.Ptm_core.Runner.out_of_steps then
-      Fmt.pr "out of steps: survivors blocked (crashed peer holds objects?)@.";
-    (match o.Ptm_core.Runner.starved with
-    | [] -> ()
-    | ps ->
-        Fmt.pr "livelock: starved processes %a@."
-          Fmt.(list ~sep:comma int)
-          ps);
-    let monitor_bad =
-      match o.Ptm_core.Runner.monitor with
-      | Ptm_core.Runner.Not_monitored -> false
-      | Ptm_core.Runner.Monitor_ok st ->
-          Fmt.pr "monitor: opaque (%a)@." Ptm_core.Opacity_stream.pp_stats st;
-          false
-      | Ptm_core.Runner.Opacity_violation v ->
-          Fmt.pr "monitor: VIOLATION %a@." Ptm_core.Opacity_stream.pp_violation
-            v;
-          true
-      | Ptm_core.Runner.Monitor_inconclusive why ->
-          Fmt.pr "monitor: inconclusive (%s)@." why;
-          false
-    in
-    let verdict =
-      Ptm_core.Checker.strictly_serializable o.Ptm_core.Runner.history
-    in
-    Fmt.pr "strict serializability: %a@." Ptm_core.Checker.pp_verdict verdict;
-    if monitor_bad then exit 1;
-    match verdict with
-    | Ptm_core.Checker.Not_serializable _ -> exit 1
-    | _ -> ()
-  in
-  Cmd.v
-    (Cmd.info "run"
-       ~doc:
-         "Run a random workload under an explicit fault plan \
-          (crash/stall/injected-abort), with optional back-off retries and \
-          livelock detection, then check the surviving history."
-       ~man:
-         [
-           `S Manpage.s_examples;
-           `P "Crash process 0 at its 6th slot, stall process 1:";
-           `Pre
-             "  ptm run --tm tl2 --fault crash:0@6 --fault stall:1@2+8 \
-              --livelock-window 32 --max-steps 20000";
-         ])
-    Term.(
-      const run $ tm_arg $ seed_arg $ nprocs_arg $ nobjs_arg $ txs_arg
-      $ faults_arg $ retries_arg $ backoff_arg $ livelock_arg $ max_steps_arg
-      $ monitor_arg)
-
-(* ---------------- props ---------------- *)
-
-let props_cmd =
-  let run () =
-    Fmt.pr "%-14s %7s %9s %10s %11s %12s %9s@." "tm" "opaque" "weak-DAP"
-      "invisible" "weak-invis" "progressive" "strongly";
-    List.iter
-      (fun (module T : Ptm_core.Tm_intf.S) ->
-        let p = T.props in
-        let b x = if x then "yes" else "no" in
-        Fmt.pr "%-14s %7s %9s %10s %11s %12s %9s@." T.name
-          (b p.Ptm_core.Tm_intf.opaque)
-          (b p.Ptm_core.Tm_intf.weak_dap)
-          (b p.Ptm_core.Tm_intf.invisible_reads)
-          (b p.Ptm_core.Tm_intf.weak_invisible_reads)
-          (b p.Ptm_core.Tm_intf.progressive)
-          (b p.Ptm_core.Tm_intf.strongly_progressive))
-      (Ptm_tms.Registry.all @ Ptm_tms.Registry.single_object);
-    Fmt.pr
-      "@.(claims are enforced by the test suite, not merely declared: run \
-       `dune runtest`)@."
-  in
-  Cmd.v
-    (Cmd.info "props"
-       ~doc:"List every TM with its claimed properties (paper, Section 3).")
-    Term.(const run $ const ())
 
 let () =
   let doc =
@@ -869,6 +23,14 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            lemma2_cmd; thm3_cmd; tightness_cmd; rmr_cmd; workload_cmd;
-            trace_cmd; props_cmd; explore_cmd; run_cmd;
+            Cli_tables.lemma2_cmd;
+            Cli_tables.thm3_cmd;
+            Cli_tables.tightness_cmd;
+            Cli_tables.rmr_cmd;
+            Cli_workload.workload_cmd;
+            Cli_workload.trace_cmd;
+            Cli_tables.props_cmd;
+            Cli_explore.explore_cmd;
+            Cli_workload.run_cmd;
+            Cli_load.load_cmd;
           ]))

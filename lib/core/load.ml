@@ -1,0 +1,450 @@
+open Ptm_machine
+
+(* Heavy-traffic load engine: thousands of logical clients multiplexed onto
+   the machine's processes, millions of transactions, metrics accounted
+   online so nothing scales with run length.
+
+   Multiplexing is at {e transaction} granularity: a machine process runs a
+   client scheduler that picks the next due client, executes one whole
+   transaction (with retries) on its behalf, and moves on. The streaming
+   opacity checker's per-pid well-formedness (one outstanding t-operation
+   per process) is thereby preserved — concurrency comes from the machine
+   interleaving processes at step granularity, as always.
+
+   Time, per process, is its own machine step count ({!Machine.steps_of}):
+   open-loop clients arrive on a fixed step period (a FIFO backlog builds up
+   when service is slower than arrival), closed-loop clients re-arm
+   [think] steps after each completion. When no client is due the process
+   spends the slot on a scratch-cell read — an {e idle tick}, so time
+   advances and the machine stays faithful to "one step, one event".
+
+   The run executes under the [Off] trace sink. Everything normally
+   recovered from the trace is accounted online instead: RMRs are fed to
+   {!Rmr.Stream} from {!Machine.packed_pend} immediately before each step,
+   wasted work is the step-count delta across aborted attempts, and the
+   opacity monitor consumes history notes through the trace observer —
+   sampled down to a configurable fraction of clients by a note filter that
+   keeps exactly what the checker needs from unsampled traffic (committed
+   writes and closing aborts) and drops the rest. *)
+
+type client_model =
+  | Open_loop of { period : int }
+      (** a new transaction every [period] steps per client, arrivals
+          accumulate while the client is being served ([period = 0]:
+          saturation — the backlog never empties) *)
+  | Closed_loop of { think : int }
+      (** each client re-arms [think] steps after its previous transaction
+          completes *)
+
+type mix = {
+  dist : Workload.dist;
+  hotspot : (int * float) option;
+  write_ratio : float;
+  ops_min : int;
+  ops_max : int;  (** transaction length drawn uniformly from [min..max] *)
+}
+
+let pp_mix ppf m =
+  Format.fprintf ppf "%s%s w%.2f len %d..%d"
+    (match m.dist with
+    | Workload.Uniform -> "uniform"
+    | Workload.Zipf theta -> Printf.sprintf "zipf(%.2f)" theta)
+    (match m.hotspot with
+    | None -> ""
+    | Some (h, p) -> Printf.sprintf " hot(%d,%.2f)" h p)
+    m.write_ratio m.ops_min m.ops_max
+
+type config = {
+  clients : int;
+  nprocs : int;
+  nobjs : int;
+  txs_per_client : int;
+  model : client_model;
+  mix : mix;
+  seed : int;
+  retries : int;
+  sample : float;  (** fraction of clients under the opacity monitor *)
+  faults : Fault.spec list;
+  rmr_models : Rmr.model list;
+  max_slots : int;  (** scheduler budget (crash survivors can spin forever) *)
+  monitor_frontier : int;
+      (** checker frontier cap: write-heavy mixes accumulate genuinely
+          order-ambiguous overlapping commits, and past the cap the
+          monitor answers [Inconclusive] rather than blowing up *)
+}
+
+let default_config =
+  {
+    clients = 64;
+    nprocs = 4;
+    nobjs = 64;
+    txs_per_client = 16;
+    model = Closed_loop { think = 0 };
+    mix =
+      {
+        dist = Workload.Uniform;
+        hotspot = None;
+        write_ratio = 0.5;
+        ops_min = 2;
+        ops_max = 6;
+      };
+    seed = 1;
+    retries = 8;
+    sample = 0.0;
+    faults = [];
+    rmr_models = [];
+    max_slots = 50_000_000;
+    monitor_frontier = 256;
+  }
+
+type result = {
+  tm : string;
+  committed : int;
+  aborted : int;  (** aborted transaction attempts *)
+  failed : int;  (** transactions abandoned after exhausting retries *)
+  unstarted : int;  (** transactions never begun (budget trip / crash) *)
+  steps : int;  (** memory events over the whole run *)
+  wasted : int;  (** steps spent inside aborted attempts *)
+  idle : int;  (** idle ticks across all processes *)
+  rmr : (string * int) list;  (** total per requested model *)
+  verdict : Opacity_stream.verdict option;  (** [None] when [sample = 0] *)
+  monitor_stats : Opacity_stream.stats option;
+  monitored_clients : int;
+  out_of_slots : bool;
+  wall : float;  (** host seconds inside the drive loop *)
+}
+
+let abort_rate r =
+  let attempts = r.committed + r.aborted in
+  if attempts = 0 then 0.0 else float_of_int r.aborted /. float_of_int attempts
+
+let throughput r =
+  if r.wall <= 0.0 then 0.0 else float_of_int r.committed /. r.wall
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%s: %d committed, %d aborted (rate %.3f), %d failed, %d unstarted, %d \
+     steps (%d wasted, %d idle)%a%s, %.0f tx/s"
+    r.tm r.committed r.aborted (abort_rate r) r.failed r.unstarted r.steps
+    r.wasted r.idle
+    (fun ppf -> function
+      | [] -> ()
+      | rmr ->
+          List.iter (fun (m, n) -> Format.fprintf ppf ", %s %d" m n) rmr)
+    r.rmr
+    (match r.verdict with
+    | None -> ""
+    | Some v -> Format.asprintf ", monitor %a" Opacity_stream.pp_verdict v)
+    (throughput r)
+
+(* ------------------------------------------------------------------ *)
+(* Monitor sampling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The note filter between the machine's observer hook and the checker.
+   Sampled clients stream every note through. For unsampled clients the
+   checker still needs the traffic that affects what sampled transactions
+   may observe — committed writes — plus enough structure to stay
+   well-formed and to close every forwarded transaction:
+
+   - write inv/res pairs are forwarded (marking the transaction as
+     updating);
+   - try-commit pairs are forwarded iff the transaction wrote (a read-only
+     commit moves no snapshot);
+   - read pairs are dropped, except that a read {e aborting} forwards its
+     (stashed) invocation and response, so a forwarded updating
+     transaction is closed rather than left live in the checker's frontier
+     forever;
+   - everything else (injected-abort markers, mem events) passes through —
+     the checker ignores it.
+
+   Per-pid state suffices: multiplexing is at transaction granularity, so
+   the current client's sampled flag (maintained by the client scheduler)
+   is stable across each transaction's notes. *)
+type filter = {
+  chk : Opacity_stream.t;
+  cur_sampled : bool array;
+  pending_read_inv : Trace.entry option array;
+  tx_wrote : bool array;
+  drop_commit : bool array;
+}
+
+let filter_create ~nprocs chk =
+  {
+    chk;
+    cur_sampled = Array.make nprocs false;
+    pending_read_inv = Array.make nprocs None;
+    tx_wrote = Array.make nprocs false;
+    drop_commit = Array.make nprocs false;
+  }
+
+let filter_entry f (e : Trace.entry) =
+  let fwd e = Opacity_stream.on_entry f.chk e in
+  match e with
+  | Trace.Note { note = History.Tx_inv { pid; op; _ }; _ } -> (
+      if f.cur_sampled.(pid) then fwd e
+      else
+        match op with
+        | History.Read _ -> f.pending_read_inv.(pid) <- Some e
+        | History.Write _ ->
+            f.tx_wrote.(pid) <- true;
+            fwd e
+        | History.Try_commit ->
+            if f.tx_wrote.(pid) then fwd e else f.drop_commit.(pid) <- true)
+  | Trace.Note { note = History.Tx_res { pid; op; res; _ }; _ } -> (
+      if f.cur_sampled.(pid) then fwd e
+      else
+        match op with
+        | History.Read _ ->
+            (match res with
+            | History.RAbort ->
+                (match f.pending_read_inv.(pid) with
+                | Some inv -> fwd inv
+                | None -> ());
+                fwd e;
+                f.tx_wrote.(pid) <- false
+            | _ -> ());
+            f.pending_read_inv.(pid) <- None
+        | History.Write _ ->
+            fwd e;
+            if res = History.RAbort then f.tx_wrote.(pid) <- false
+        | History.Try_commit ->
+            if f.drop_commit.(pid) then f.drop_commit.(pid) <- false
+            else fwd e;
+            f.tx_wrote.(pid) <- false)
+  | e -> fwd e
+
+(* ------------------------------------------------------------------ *)
+(* Clients                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type client = {
+  rng : Random.State.t;
+  sampled : bool;
+  mutable txs_left : int;
+  mutable due_at : int;  (** next arrival (open) / re-arm time (closed) *)
+}
+
+(* Deterministic per-client generator streams: derived from the run seed
+   and the client id, independent of scheduling. *)
+let client_rng ~seed cid = Random.State.make [| 0x10ad; seed; cid |]
+
+let gen_tx ~(mix : mix) ~sampler ~next_value cl =
+  let n =
+    mix.ops_min + Random.State.int cl.rng (mix.ops_max - mix.ops_min + 1)
+  in
+  List.init n (fun _ ->
+      let x = Workload.Sampler.draw sampler cl.rng in
+      if Random.State.float cl.rng 1.0 < mix.write_ratio then
+        Workload.W (x, next_value ())
+      else Workload.R x)
+
+(* ------------------------------------------------------------------ *)
+(* The run                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let validate cfg =
+  if cfg.clients < 1 then invalid_arg "Load: clients must be >= 1";
+  if cfg.nprocs < 1 then invalid_arg "Load: nprocs must be >= 1";
+  if cfg.clients < cfg.nprocs then
+    invalid_arg "Load: need at least one client per process";
+  if cfg.txs_per_client < 0 then invalid_arg "Load: negative txs_per_client";
+  if cfg.mix.ops_min < 1 || cfg.mix.ops_max < cfg.mix.ops_min then
+    invalid_arg "Load: bad tx-length range";
+  if cfg.sample < 0.0 || cfg.sample > 1.0 then
+    invalid_arg "Load: sample must be within [0, 1]";
+  (match cfg.model with
+  | Open_loop { period } -> if period < 0 then invalid_arg "Load: negative period"
+  | Closed_loop { think } -> if think < 0 then invalid_arg "Load: negative think")
+
+let run (module T : Tm_intf.S) cfg =
+  validate cfg;
+  let sampler =
+    Workload.Sampler.make ?hotspot:cfg.mix.hotspot ~dist:cfg.mix.dist
+      ~nobjs:cfg.nobjs ()
+  in
+  let m = Machine.create ~trace:Trace.Off ~nprocs:cfg.nprocs () in
+  let module R = Runner.Make (T) in
+  let ctx = R.init m ~nobjs:cfg.nobjs in
+  let scratch =
+    Array.init cfg.nprocs (fun pid ->
+        Machine.alloc m ~owner:pid
+          ~name:(Printf.sprintf "load.scratch.p%d" pid)
+          (Value.Int 0))
+  in
+  (* clients, dealt round-robin over processes *)
+  let monitored = ref 0 in
+  let clients_of =
+    let all =
+      Array.init cfg.clients (fun cid ->
+          let rng = client_rng ~seed:cfg.seed cid in
+          let sampled =
+            cfg.sample > 0.0 && Random.State.float rng 1.0 < cfg.sample
+          in
+          if sampled then incr monitored;
+          (* open-loop arrival phases are spread over the period so clients
+             of one process don't arrive in lockstep *)
+          let due_at =
+            match cfg.model with
+            | Open_loop { period } ->
+                if period = 0 then 0 else Random.State.int rng period
+            | Closed_loop _ -> 0
+          in
+          { rng; sampled; txs_left = cfg.txs_per_client; due_at })
+    in
+    Array.init cfg.nprocs (fun pid ->
+        Array.of_list
+          (List.filteri
+             (fun i _ -> i mod cfg.nprocs = pid)
+             (Array.to_list all)))
+  in
+  let chk, filter =
+    if cfg.sample > 0.0 then begin
+      let chk = Opacity_stream.create ~max_frontier:cfg.monitor_frontier () in
+      let f = filter_create ~nprocs:cfg.nprocs chk in
+      Trace.set_observer (Machine.trace m) (Some (filter_entry f));
+      (Some chk, Some f)
+    end
+    else (None, None)
+  in
+  Machine.set_faults m cfg.faults;
+  (* per-process accounting, mutated from inside the process bodies (host
+     state: fine for a single live run that never restarts) *)
+  let committed = Array.make cfg.nprocs 0 in
+  let aborted = Array.make cfg.nprocs 0 in
+  let failed = Array.make cfg.nprocs 0 in
+  let idle = Array.make cfg.nprocs 0 in
+  let wasted = Array.make cfg.nprocs 0 in
+  let value_ctr = Array.make cfg.nprocs 0 in
+  for pid = 0 to cfg.nprocs - 1 do
+    let mine = clients_of.(pid) in
+    let next_value () =
+      value_ctr.(pid) <- value_ctr.(pid) + 1;
+      ((pid + 1) * 1_000_000_000) + value_ctr.(pid)
+    in
+    (* earliest-due ready client, FIFO within a tick (stable index order);
+       [None] when every remaining client is due in the future *)
+    let pick now =
+      let best = ref None in
+      Array.iter
+        (fun cl ->
+          if cl.txs_left > 0 && cl.due_at <= now then
+            match !best with
+            | Some b when b.due_at <= cl.due_at -> ()
+            | _ -> best := Some cl)
+        mine;
+      !best
+    in
+    let exhausted () =
+      Array.for_all (fun cl -> cl.txs_left = 0) mine
+    in
+    let run_ops tx ops =
+      List.fold_left
+        (fun acc op ->
+          match acc with
+          | Error `Abort -> acc
+          | Ok () -> (
+              match op with
+              | Workload.R x ->
+                  Result.map (fun (_ : int) -> ()) (R.read ctx tx x)
+              | Workload.W (x, v) -> R.write ctx tx x v))
+        (Ok ()) ops
+    in
+    Machine.spawn m pid (fun () ->
+        while not (exhausted ()) do
+          let now = Machine.steps_of m pid in
+          match pick now with
+          | None ->
+              idle.(pid) <- idle.(pid) + 1;
+              ignore (Proc.read scratch.(pid) : Value.t)
+          | Some cl ->
+              (match filter with
+              | Some f -> f.cur_sampled.(pid) <- cl.sampled
+              | None -> ());
+              let ops = gen_tx ~mix:cfg.mix ~sampler ~next_value cl in
+              let rec attempt k =
+                let s0 = Machine.steps_of m pid in
+                let tx = R.begin_tx ctx ~pid in
+                let outcome =
+                  match run_ops tx ops with
+                  | Ok () -> R.commit ctx tx
+                  | Error `Abort -> Error `Abort
+                in
+                match outcome with
+                | Ok () -> committed.(pid) <- committed.(pid) + 1
+                | Error `Abort ->
+                    aborted.(pid) <- aborted.(pid) + 1;
+                    wasted.(pid) <-
+                      wasted.(pid) + (Machine.steps_of m pid - s0);
+                    if k < cfg.retries then attempt (k + 1)
+                    else failed.(pid) <- failed.(pid) + 1
+              in
+              attempt 0;
+              cl.txs_left <- cl.txs_left - 1;
+              (match cfg.model with
+              | Open_loop { period } -> cl.due_at <- cl.due_at + period
+              | Closed_loop { think } ->
+                  cl.due_at <- Machine.steps_of m pid + think)
+        done)
+  done;
+  (* the drive loop: round-robin over runnable processes, feeding the RMR
+     streams from the packed pending event immediately before each step *)
+  let streams =
+    List.map
+      (fun model ->
+        (model, Rmr.Stream.create model ~nprocs:cfg.nprocs (Machine.memory m)))
+      cfg.rmr_models
+  in
+  let slots = ref 0 in
+  let t0 = Sys.time () in
+  let out_of_slots = ref false in
+  let running = ref true in
+  while !running do
+    running := false;
+    for pid = 0 to cfg.nprocs - 1 do
+      if !slots < cfg.max_slots && Machine.is_runnable m pid then begin
+        incr slots;
+        let p = Machine.packed_pend m pid in
+        if p >= 0 then
+          List.iter
+            (fun (_, st) ->
+              Rmr.Stream.feed st ~pid ~addr:(p lsr 1)
+                ~trivial:(p land 1 = 1))
+            streams;
+        ignore (Machine.step m pid : Machine.step_result);
+        running := true
+      end
+    done;
+    if !slots >= cfg.max_slots && not (Machine.all_done m) then begin
+      out_of_slots := true;
+      running := false
+    end
+  done;
+  let wall = Sys.time () -. t0 in
+  Machine.check_crashes m;
+  let sum a = Array.fold_left ( + ) 0 a in
+  let steps = ref 0 in
+  for pid = 0 to cfg.nprocs - 1 do
+    steps := !steps + Machine.steps_of m pid
+  done;
+  let done_txs = sum committed + sum failed in
+  {
+    tm = T.name;
+    committed = sum committed;
+    aborted = sum aborted;
+    failed = sum failed;
+    unstarted = (cfg.clients * cfg.txs_per_client) - done_txs;
+    steps = !steps;
+    wasted = sum wasted;
+    idle = sum idle;
+    rmr =
+      List.map
+        (fun (model, st) ->
+          (Rmr.model_name model, (Rmr.Stream.counts st).Rmr.total))
+        streams;
+    verdict = Option.map Opacity_stream.verdict chk;
+    monitor_stats = Option.map Opacity_stream.stats chk;
+    monitored_clients = !monitored;
+    out_of_slots = !out_of_slots;
+    wall;
+  }

@@ -1,0 +1,97 @@
+(** Heavy-traffic load engine: thousands of logical clients multiplexed
+    onto the machine's processes, serving millions of simulated
+    transactions against any registry TM.
+
+    Each machine process runs a {e client scheduler} multiplexing its share
+    of the clients at transaction granularity: pick the next due client,
+    run one whole transaction (with retries) on its behalf through the
+    instrumented {!Runner} layer, move on. Per-process time is the
+    process's own step count; when no client is due, the slot is spent on a
+    scratch-cell read (an idle tick) so time keeps flowing.
+
+    The run executes under the [Off] trace sink — nothing is retained per
+    step. All metrics are accounted online: RMRs via {!Ptm_machine.Rmr.Stream}
+    fed from {!Ptm_machine.Machine.packed_pend} before each step, wasted work as
+    step-count deltas across aborted attempts, and opacity via the
+    streaming checker over a sampled fraction of clients (unsampled
+    traffic is filtered down to the committed writes and closing aborts
+    the checker needs for the sampled transactions to be judged against;
+    [sample = 1.0] checks the entire run). *)
+
+open Ptm_machine
+
+type client_model =
+  | Open_loop of { period : int }
+      (** a new transaction every [period] steps per client, arrivals
+          accumulating while the client is served ([period = 0]:
+          saturation) *)
+  | Closed_loop of { think : int }
+      (** each client re-arms [think] steps after its previous
+          transaction completes *)
+
+type mix = {
+  dist : Workload.dist;
+  hotspot : (int * float) option;
+  write_ratio : float;
+  ops_min : int;
+  ops_max : int;  (** transaction length drawn uniformly from [min..max] *)
+}
+
+val pp_mix : Format.formatter -> mix -> unit
+
+type config = {
+  clients : int;
+  nprocs : int;
+  nobjs : int;
+  txs_per_client : int;
+  model : client_model;
+  mix : mix;
+  seed : int;
+  retries : int;
+  sample : float;  (** fraction of clients under the opacity monitor *)
+  faults : Fault.spec list;
+  rmr_models : Rmr.model list;
+  max_slots : int;
+      (** scheduler budget — crash survivors can spin forever on a base
+          object the crashed process holds *)
+  monitor_frontier : int;
+      (** frontier cap of the streaming checker (its default is 256):
+          write-heavy mixes accumulate overlapping write-only commits
+          whose order nothing ever forces, and past the cap the monitor
+          answers [Inconclusive] — undecided, never wrong *)
+}
+
+val default_config : config
+(** 64 clients on 4 processes, 64 objects, uniform half-write mix,
+    saturated closed loop, no faults, no monitor, no RMR accounting. *)
+
+type result = {
+  tm : string;
+  committed : int;
+  aborted : int;  (** aborted transaction attempts *)
+  failed : int;  (** transactions abandoned after exhausting retries *)
+  unstarted : int;  (** transactions never begun (budget trip / crash) *)
+  steps : int;  (** memory events over the whole run *)
+  wasted : int;  (** steps spent inside aborted attempts *)
+  idle : int;  (** idle ticks across all processes *)
+  rmr : (string * int) list;  (** totals, per requested model *)
+  verdict : Opacity_stream.verdict option;  (** [None] when [sample = 0] *)
+  monitor_stats : Opacity_stream.stats option;
+  monitored_clients : int;
+  out_of_slots : bool;
+  wall : float;  (** host seconds inside the drive loop *)
+}
+
+val abort_rate : result -> float
+(** Aborted attempts over all attempts (0 when there were none). *)
+
+val throughput : result -> float
+(** Committed transactions per host second. *)
+
+val pp_result : Format.formatter -> result -> unit
+
+val run : (module Tm_intf.S) -> config -> result
+(** Run one load cell to completion (every client out of transactions) or
+    to the slot budget. Raises [Invalid_argument] on a malformed config;
+    re-raises the first process crash (a TM bug — injected crash faults
+    halt processes without raising). *)

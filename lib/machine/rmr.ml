@@ -79,3 +79,80 @@ let count model ~nprocs memory trace =
       per_pid.(e.Trace.pid) <- per_pid.(e.Trace.pid) + 1;
       incr total);
   { per_pid; total = !total }
+
+(* Incremental accounting for runs too large to retain a trace: the same
+   three cache simulators, fed one event at a time. The caller supplies
+   (pid, addr, triviality) — exactly what [Machine.packed_pend] exposes
+   before a step — so a load driver charges RMRs online under the [Off]
+   sink. The per-model transition tables are kept line-for-line equivalent
+   to [iter]'s (a differential test pins them against each other). *)
+module Stream = struct
+  type t = {
+    model : model;
+    memory : Memory.t;
+    per_pid : int array;
+    mutable total : int;
+    wt_valid : (int, int list) Hashtbl.t;  (* Cc_write_through *)
+    wb_lines : (int, wb_line) Hashtbl.t;  (* Cc_write_back *)
+  }
+
+  let create model ~nprocs memory =
+    {
+      model;
+      memory;
+      per_pid = Array.make nprocs 0;
+      total = 0;
+      wt_valid = Hashtbl.create 64;
+      wb_lines = Hashtbl.create 64;
+    }
+
+  let charge t pid =
+    t.per_pid.(pid) <- t.per_pid.(pid) + 1;
+    t.total <- t.total + 1
+
+  let feed t ~pid ~addr ~trivial =
+    match t.model with
+    | Dsm -> (
+        match Memory.owner t.memory addr with
+        | Some o when o = pid -> ()
+        | _ -> charge t pid)
+    | Cc_write_through ->
+        let holders =
+          Option.value ~default:[] (Hashtbl.find_opt t.wt_valid addr)
+        in
+        if trivial then begin
+          if not (List.mem pid holders) then begin
+            charge t pid;
+            Hashtbl.replace t.wt_valid addr (pid :: holders)
+          end
+        end
+        else begin
+          charge t pid;
+          Hashtbl.replace t.wt_valid addr [ pid ]
+        end
+    | Cc_write_back -> (
+        let line =
+          Option.value ~default:Invalid (Hashtbl.find_opt t.wb_lines addr)
+        in
+        if trivial then
+          match line with
+          | Shared ps when List.mem pid ps -> ()
+          | Exclusive p when p = pid -> ()
+          | Shared ps ->
+              charge t pid;
+              Hashtbl.replace t.wb_lines addr (Shared (pid :: ps))
+          | Exclusive p ->
+              charge t pid;
+              Hashtbl.replace t.wb_lines addr (Shared [ pid; p ])
+          | Invalid ->
+              charge t pid;
+              Hashtbl.replace t.wb_lines addr (Shared [ pid ])
+        else
+          match line with
+          | Exclusive p when p = pid -> ()
+          | _ ->
+              charge t pid;
+              Hashtbl.replace t.wb_lines addr (Exclusive pid))
+
+  let counts t = { per_pid = Array.copy t.per_pid; total = t.total }
+end

@@ -34,3 +34,22 @@ val iter : model -> Memory.t -> Trace.t -> (Trace.mem_event -> unit) -> unit
 (** Replay the trace and invoke the callback once per event that incurs an
     RMR — the building block for attributed accounting (e.g. splitting the
     Algorithm 1 RMRs into TM steps versus hand-off overhead). *)
+
+(** Online accounting for runs too large to retain a trace (the load
+    engine's million-transaction sweeps run under the {!Trace.Off} sink):
+    the same cache simulators fed one event at a time, from the
+    (pid, addr, triviality) triple {!Machine.packed_pend} exposes before
+    each step. Feeding a run's events in schedule order yields counts
+    identical to {!count} over the equivalent recorded trace. *)
+module Stream : sig
+  type t
+
+  val create : model -> nprocs:int -> Memory.t -> t
+  (** The memory is consulted only for DSM owners. *)
+
+  val feed : t -> pid:int -> addr:int -> trivial:bool -> unit
+  (** Account one memory event: [trivial] per {!Primitive.is_trivial}
+      (reads/LLs), nontrivial applications are write accesses. *)
+
+  val counts : t -> counts
+end

@@ -13,16 +13,38 @@ let escape_class : Ptm_core.Tm_intf.tm list =
 let single_object : Ptm_core.Tm_intf.tm list =
   [ (module Oneshot); (module Oneshot_llsc) ]
 
+(* The sharded family: the load engine's throughput play. Four shards is
+   the default registry instantiation ("norec.x4" etc.); other widths are
+   built on demand via [Sharded.Make] (the CLI's --shards flag). *)
+module X4 = struct
+  let shards = 4
+end
+
+module Norec_x4 = Sharded.Make (X4) (Norec)
+module Tl2_x4 = Sharded.Make (X4) (Tl2)
+module Undolog_x4 = Sharded.Make (X4) (Undolog)
+module Sgl_x4 = Sharded.Make (X4) (Sgl)
+
+let sharded : Ptm_core.Tm_intf.tm list =
+  [ (module Norec_x4); (module Tl2_x4); (module Undolog_x4);
+    (module Sgl_x4) ]
+
 let by_name n =
   List.find_opt
     (fun (module T : Ptm_core.Tm_intf.S) -> String.equal T.name n)
-    (single_object @ all)
+    (single_object @ all @ sharded)
 
 let stepwise : Ptm_core.Tm_intf.tm_step list =
   [ (module Undolog.Stepwise); (module Ostm.Stepwise);
     (module Norec.Stepwise); (module Sgl.Stepwise) ]
 
+module Norec_x4_step = Sharded.Make_step (X4) (Norec.Stepwise)
+module Sgl_x4_step = Sharded.Make_step (X4) (Sgl.Stepwise)
+
+let sharded_stepwise : Ptm_core.Tm_intf.tm_step list =
+  [ (module Norec_x4_step); (module Sgl_x4_step) ]
+
 let stepwise_by_name n =
   List.find_opt
     (fun (module T : Ptm_core.Tm_intf.S_step) -> String.equal T.name n)
-    stepwise
+    (stepwise @ sharded_stepwise)

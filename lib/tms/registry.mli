@@ -13,6 +13,12 @@ val validation_class : Ptm_core.Tm_intf.tm list
 val escape_class : Ptm_core.Tm_intf.tm list
 (** TMs escaping the Theorem 3 bound by violating one premise. *)
 
+val sharded : Ptm_core.Tm_intf.tm list
+(** The sharded multi-TM family ({!Sharded.Make} at 4 shards over NOrec,
+    TL2, undo-log and SGL — names ["norec.x4"] etc.). Excluded from {!all}:
+    generic property tests assume the inner TMs' fine-grained guarantees,
+    which sharding deliberately forfeits (see {!Sharded}). *)
+
 val by_name : string -> Ptm_core.Tm_intf.tm option
 
 val stepwise : Ptm_core.Tm_intf.tm_step list
@@ -21,4 +27,9 @@ val stepwise : Ptm_core.Tm_intf.tm_step list
     modules in {!all} are derived from these, so the two forms are
     event-identical. *)
 
+val sharded_stepwise : Ptm_core.Tm_intf.tm_step list
+(** Step-form sharded instantiations ({!Sharded.Make_step} at 4 shards
+    over the step-form NOrec and SGL). *)
+
 val stepwise_by_name : string -> Ptm_core.Tm_intf.tm_step option
+(** Looks up {!stepwise} and {!sharded_stepwise}. *)

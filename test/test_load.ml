@@ -1,0 +1,195 @@
+(* The load engine. Small deterministic cells: full accounting (every
+   generated transaction ends up committed, failed or unstarted),
+   run-to-run determinism, both client models, full-sample opacity
+   monitoring (plain and sharded TMs), partial-sample filtering, online
+   RMR accounting, and crash-under-load. *)
+
+open Ptm_core
+
+let base =
+  {
+    Load.default_config with
+    Load.clients = 12;
+    nprocs = 3;
+    nobjs = 16;
+    txs_per_client = 6;
+    retries = 6;
+    seed = 42;
+  }
+
+let check_verdict name r =
+  match r.Load.verdict with
+  | Some Opacity_stream.Opaque -> ()
+  | Some (Opacity_stream.Violation v) ->
+      Alcotest.failf "%s: opacity violation: %a" name
+        Opacity_stream.pp_violation v
+  | Some (Opacity_stream.Inconclusive why) ->
+      Alcotest.failf "%s: monitor inconclusive: %s" name why
+  | None -> Alcotest.failf "%s: monitor not armed" name
+
+let check_accounting cfg (r : Load.result) =
+  Alcotest.(check int)
+    "all transactions accounted"
+    (cfg.Load.clients * cfg.Load.txs_per_client)
+    (r.Load.committed + r.Load.failed + r.Load.unstarted)
+
+let test_full_sample_clean () =
+  List.iter
+    (fun tm_name ->
+      let (module T) = Option.get (Ptm_tms.Registry.by_name tm_name) in
+      let cfg = { base with Load.sample = 1.0 } in
+      let r = Load.run (module T) cfg in
+      check_accounting cfg r;
+      Alcotest.(check bool) (tm_name ^ ": committed") true (r.Load.committed > 0);
+      Alcotest.(check bool)
+        (tm_name ^ ": finished within budget")
+        false r.Load.out_of_slots;
+      Alcotest.(check int)
+        (tm_name ^ ": every client monitored")
+        cfg.Load.clients r.Load.monitored_clients;
+      check_verdict tm_name r)
+    [ "norec"; "tl2"; "norec.x4"; "sgl.x4" ]
+
+let test_deterministic () =
+  let (module T) = Option.get (Ptm_tms.Registry.by_name "norec.x4") in
+  let cfg = { base with Load.rmr_models = Ptm_machine.Rmr.all_models } in
+  let key (r : Load.result) =
+    (r.Load.committed, r.Load.aborted, r.Load.failed, r.Load.steps,
+     r.Load.wasted, r.Load.idle, r.Load.rmr)
+  in
+  Alcotest.(check bool)
+    "same config, same run" true
+    (key (Load.run (module T) cfg) = key (Load.run (module T) cfg))
+
+let test_open_loop () =
+  let (module T) = Option.get (Ptm_tms.Registry.by_name "norec") in
+  let cfg =
+    { base with Load.model = Load.Open_loop { period = 400 }; sample = 1.0 }
+  in
+  let r = Load.run (module T) cfg in
+  check_accounting cfg r;
+  check_verdict "open loop" r;
+  (* a 400-step inter-arrival gap on short transactions leaves idle time *)
+  Alcotest.(check bool) "idle ticks happen" true (r.Load.idle > 0)
+
+let test_closed_loop_think () =
+  let (module T) = Option.get (Ptm_tms.Registry.by_name "norec") in
+  let cfg =
+    { base with Load.model = Load.Closed_loop { think = 300 }; sample = 1.0 }
+  in
+  let r = Load.run (module T) cfg in
+  check_accounting cfg r;
+  check_verdict "closed loop" r;
+  Alcotest.(check bool) "idle ticks happen" true (r.Load.idle > 0)
+
+let test_partial_sample () =
+  let (module T) = Option.get (Ptm_tms.Registry.by_name "tl2") in
+  let cfg = { base with Load.sample = 0.4 } in
+  let r = Load.run (module T) cfg in
+  check_accounting cfg r;
+  check_verdict "partial sample" r;
+  Alcotest.(check bool)
+    "a strict subset of clients monitored" true
+    (r.Load.monitored_clients > 0
+    && r.Load.monitored_clients < cfg.Load.clients)
+
+let test_rmr_accounting () =
+  let (module T) = Option.get (Ptm_tms.Registry.by_name "norec") in
+  let cfg = { base with Load.rmr_models = Ptm_machine.Rmr.all_models } in
+  let r = Load.run (module T) cfg in
+  Alcotest.(check int) "three models" 3 (List.length r.Load.rmr);
+  List.iter
+    (fun (m, n) ->
+      Alcotest.(check bool) (m ^ ": RMRs counted") true (n > 0);
+      Alcotest.(check bool) (m ^ ": bounded by steps") true (n <= r.Load.steps))
+    r.Load.rmr
+
+let test_crash_under_load () =
+  List.iter
+    (fun tm_name ->
+      let (module T) = Option.get (Ptm_tms.Registry.by_name tm_name) in
+      let cfg =
+        {
+          base with
+          Load.sample = 1.0;
+          faults = [ Ptm_machine.Fault.crash ~pid:1 ~at:200 ];
+          max_slots = 400_000;
+        }
+      in
+      let r = Load.run (module T) cfg in
+      (* the crashed process strands its clients (and, for lock-based TMs,
+         possibly everyone spinning on what it holds) — but whatever
+         completes must be opaque *)
+      Alcotest.(check bool)
+        (tm_name ^ ": some transactions lost")
+        true
+        (r.Load.unstarted > 0 || r.Load.out_of_slots);
+      match r.Load.verdict with
+      | Some (Opacity_stream.Violation v) ->
+          Alcotest.failf "%s: opacity violation under crash: %a" tm_name
+            Opacity_stream.pp_violation v
+      | Some (Opacity_stream.Opaque | Opacity_stream.Inconclusive _) -> ()
+      | None -> Alcotest.failf "%s: monitor not armed" tm_name)
+    [ "norec"; "norec.x4" ]
+
+let test_zipf_hot_mix () =
+  let (module T) = Option.get (Ptm_tms.Registry.by_name "norec.x4") in
+  (* write-heavy mixes pile up overlapping write-only commits whose order
+     nothing ever forces, so the checker's frontier can grow without bound
+     and [Inconclusive] is its honest answer — a [Violation] is still a
+     hard failure *)
+  let cfg =
+    {
+      base with
+      Load.sample = 1.0;
+      mix =
+        {
+          Load.dist = Workload.Zipf 0.9;
+          hotspot = Some (2, 0.3);
+          write_ratio = 0.8;
+          ops_min = 1;
+          ops_max = 4;
+        };
+    }
+  in
+  let r = Load.run (module T) cfg in
+  check_accounting cfg r;
+  match r.Load.verdict with
+  | Some (Opacity_stream.Violation v) ->
+      Alcotest.failf "zipf+hot mix: opacity violation: %a"
+        Opacity_stream.pp_violation v
+  | Some (Opacity_stream.Opaque | Opacity_stream.Inconclusive _) -> ()
+  | None -> Alcotest.fail "zipf+hot mix: monitor not armed"
+
+let test_bad_configs () =
+  let (module T) = Option.get (Ptm_tms.Registry.by_name "norec") in
+  let expect name cfg =
+    match Load.run (module T) cfg with
+    | (_ : Load.result) -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect "zero clients" { base with Load.clients = 0 };
+  expect "more procs than clients" { base with Load.nprocs = 100 };
+  expect "bad sample" { base with Load.sample = 1.5 };
+  expect "bad length range"
+    { base with Load.mix = { base.Load.mix with Load.ops_min = 0 } }
+
+let () =
+  Alcotest.run "load"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "full-sample runs are opaque" `Quick
+            test_full_sample_clean;
+          Alcotest.test_case "deterministic under a seed" `Quick
+            test_deterministic;
+          Alcotest.test_case "open loop" `Quick test_open_loop;
+          Alcotest.test_case "closed loop with think time" `Quick
+            test_closed_loop_think;
+          Alcotest.test_case "partial sampling" `Quick test_partial_sample;
+          Alcotest.test_case "online RMR accounting" `Quick test_rmr_accounting;
+          Alcotest.test_case "crash under load" `Quick test_crash_under_load;
+          Alcotest.test_case "zipf + hotspot mix" `Quick test_zipf_hot_mix;
+          Alcotest.test_case "config validation" `Quick test_bad_configs;
+        ] );
+    ]

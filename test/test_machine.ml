@@ -652,6 +652,55 @@ let test_rmr_local_spin_is_free () =
   Alcotest.(check int) "wt one miss" 1 wt.Rmr.total;
   Alcotest.(check int) "wb one miss" 1 wb.Rmr.total
 
+let test_rmr_stream_matches_offline () =
+  (* The incremental accountant must agree with the offline replay on every
+     model, over a randomized event sequence mixing trivial and nontrivial
+     primitives, owned and unowned cells. *)
+  let rng = Random.State.make [| 421 |] in
+  let mem = Memory.create () in
+  let addrs =
+    Array.init 6 (fun i ->
+        let owner = if i mod 2 = 0 then Some (i mod 3) else None in
+        Memory.alloc mem ?owner ~name:(Printf.sprintf "s%d" i) (Value.Int 0))
+  in
+  let tr = Trace.create () in
+  let nprocs = 3 in
+  let streams =
+    List.map
+      (fun m -> (m, Rmr.Stream.create m ~nprocs mem))
+      Rmr.all_models
+  in
+  for _ = 1 to 500 do
+    let pid = Random.State.int rng nprocs in
+    let addr = addrs.(Random.State.int rng (Array.length addrs)) in
+    let prim =
+      match Random.State.int rng 4 with
+      | 0 -> Primitive.Read
+      | 1 -> Primitive.Write (Value.Int (Random.State.int rng 5))
+      | 2 ->
+          Primitive.Cas
+            { expected = Value.Int 0; desired = Value.Int (Random.State.int rng 5) }
+      | _ -> Primitive.Ll
+    in
+    let resp, changed = Memory.apply mem ~pid addr prim in
+    Trace.add_mem tr ~pid ~addr prim resp changed;
+    List.iter
+      (fun (_, s) ->
+        Rmr.Stream.feed s ~pid ~addr ~trivial:(Primitive.is_trivial prim))
+      streams
+  done;
+  List.iter
+    (fun (m, s) ->
+      let offline = Rmr.count m ~nprocs mem tr in
+      let online = Rmr.Stream.counts s in
+      Alcotest.(check int)
+        (Rmr.model_name m ^ " total")
+        offline.Rmr.total online.Rmr.total;
+      Alcotest.(check (array int))
+        (Rmr.model_name m ^ " per pid")
+        offline.Rmr.per_pid online.Rmr.per_pid)
+    streams
+
 let () =
   Alcotest.run "machine"
     [
@@ -729,5 +778,7 @@ let () =
             test_rmr_failed_cas_is_write_access;
           Alcotest.test_case "local spin free" `Quick
             test_rmr_local_spin_is_free;
+          Alcotest.test_case "stream matches offline" `Quick
+            test_rmr_stream_matches_offline;
         ] );
     ]
