@@ -20,6 +20,12 @@
      E17 Extension: heavy-traffic load engine — abort rate, throughput
          (committed tx/s), RMRs and wasted work per TM per mix, whole
          registry incl. the sharded family; emits BENCH_load.json
+     E18 Extension: the price and the payoff of obstruction freedom —
+         steps/RMRs per commit of the ofree family vs the lock-based
+         TMs on the E17 mixes, crash-survival under load (lock-based
+         latches, ofree steals through the corpse), and per-CM DPOR
+         with a crash budget; load cells join BENCH_load.json, explore
+         cells BENCH_explore.json
 
    plus Bechamel wall-clock micro-benchmarks of the simulator itself (one
    Test.make per experiment driver and per TM).
@@ -1263,21 +1269,321 @@ let e17 ?(quick = false) () =
   end;
   List.rev !cells
 
-(* BENCH_load.json for the E17 cells, same line-per-cell shape as
-   BENCH_explore.json so the gate shares one parser. *)
+(* ------------------------------------------------------------------ *)
+(* E18: the price and the payoff of obstruction freedom                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Two measured claims, one experiment:
+
+   - {e the price}: on contended mixes the obstruction-free TM pays for
+     its lock freedom in work — more steps and RMRs per committed
+     transaction than the lock-based progressive TMs on the same load
+     (stolen ownership turns one process's progress into another's
+     wasted re-execution, and every acquisition is a CAS on a shared
+     header where dstm's reader pays a plain read);
+   - {e the payoff}: crash-stop a process mid-load and the lock-based
+     TMs can latch livelock or burn the slot budget on the corpse's
+     locks, while every ofree survivor steals through the corpse and
+     finishes its work.
+
+   The load cells ride the E17 machinery; [mode] is prefixed "e18-" so
+   the keys never collide with E17's rows for the same TM. The explore
+   cells run the E14 conflict fixture under a crash budget for each
+   contention manager, on both engines, asserted bit-identical. *)
+
+let e18_ofree_tms : Tm_intf.tm list =
+  [ (module Ptm_tms.Ofree); (module Ptm_tms.Ofree.Aggressive);
+    (module Ptm_tms.Ofree.Polite); (module Ptm_tms.Ofree.Timestamp) ]
+
+let e18_contrast_tms : Tm_intf.tm list =
+  [ (module Ptm_tms.Dstm); (module Ptm_tms.Tl2) ]
+
+let e18_load ?(quick = false) () =
+  hr
+    "E18. Obstruction freedom under load: steps/RMR per commit vs the \
+     lock-based TMs, and crash survival";
+  let clients = if quick then 32 else 128 in
+  let txs = if quick then 10 else 50 in
+  let cells = ref [] in
+  let violations = ref 0 in
+  (* steps per committed transaction, the cost metric both claims use;
+     a latched run with zero commits costs infinity honestly *)
+  let spc (r : Load.result) =
+    if r.Load.committed = 0 then infinity
+    else float_of_int r.Load.steps /. float_of_int r.Load.committed
+  in
+  let rmrpc (r : Load.result) =
+    let total = List.fold_left (fun a (_, n) -> a + n) 0 r.Load.rmr in
+    if r.Load.committed = 0 then infinity
+    else float_of_int total /. float_of_int r.Load.committed
+  in
+  let cell mname (r : Load.result) starved_str =
+    let rmr m = try List.assoc m r.Load.rmr with Not_found -> 0 in
+    let mon =
+      match r.Load.verdict with
+      | None -> "off"
+      | Some Opacity_stream.Opaque -> "opaque"
+      | Some (Opacity_stream.Violation v) ->
+          incr violations;
+          Fmt.epr "e18: %s/%s OPACITY VIOLATION %a@." r.Load.tm mname
+            Opacity_stream.pp_violation v;
+          "VIOLATION"
+      | Some (Opacity_stream.Inconclusive _) -> "inconcl."
+    in
+    ( ((r.Load.tm, "e18-" ^ mname, "off", "load", "full"), Load.throughput r),
+      Printf.sprintf
+        "    {\"config\":%S,\"mode\":%S,\"trace\":\"off\",\
+         \"engine\":\"load\",\"fuse\":\"full\",\"clients\":%d,\
+         \"txs_per_client\":%d,\"committed\":%d,\"aborted\":%d,\
+         \"failed\":%d,\"unstarted\":%d,\"steps\":%d,\"wasted\":%d,\
+         \"abort_rate\":%.4f,\"steps_per_commit\":%.1f,\
+         \"rmr_ccwt\":%d,\"rmr_ccwb\":%d,\"rmr_dsm\":%d,\"starved\":[%s],\
+         \"monitor\":%S,\"elapsed_s\":%.4f,\"leaves_per_sec\":%.1f}"
+        r.Load.tm ("e18-" ^ mname) clients txs r.Load.committed r.Load.aborted
+        r.Load.failed r.Load.unstarted r.Load.steps r.Load.wasted
+        (Load.abort_rate r)
+        (if r.Load.committed = 0 then 0. else spc r)
+        (rmr "CC/WT") (rmr "CC/WB") (rmr "DSM") starved_str mon r.Load.wall
+        (Load.throughput r) )
+  in
+  (* -- claim 1: the price, on the E17 mixes ------------------------- *)
+  Fmt.pr "%-12s %-12s %9s %7s %10s %11s %10s %-8s@." "tm" "mix" "committed"
+    "abrt%" "steps/cmt" "rmr/cmt" "tx/s" "monitor";
+  let contended = ref [] in
+  List.iter
+    (fun (module T : Tm_intf.S) ->
+      List.iter
+        (fun (mname, mix) ->
+          let cfg =
+            {
+              Load.default_config with
+              Load.clients;
+              nprocs = 4;
+              nobjs = 64;
+              txs_per_client = txs;
+              mix;
+              seed = 18;
+              sample = 0.25;
+              rmr_models = Ptm_machine.Rmr.all_models;
+            }
+          in
+          let r = Load.run (module T) cfg in
+          Fmt.pr "%-12s %-12s %9d %6.1f%% %10.1f %11.1f %10.0f %-8s@." T.name
+            mname r.Load.committed
+            (100. *. Load.abort_rate r)
+            (spc r) (rmrpc r) (Load.throughput r)
+            (match r.Load.verdict with
+            | Some Opacity_stream.Opaque -> "opaque"
+            | Some (Opacity_stream.Violation _) -> "VIOLATION"
+            | Some (Opacity_stream.Inconclusive _) -> "inconcl."
+            | None -> "off");
+          if mname <> "read-mostly" then
+            contended := ((T.name, mname), (spc r, rmrpc r)) :: !contended;
+          cells := cell mname r "" :: !cells)
+        e17_mixes)
+    (e18_ofree_tms @ e18_contrast_tms);
+  (* the price must be visible: on every contended mix, the default
+     ofree pays more steps and RMRs per commit than each lock-based
+     contrast TM *)
+  List.iter
+    (fun (mname, _) ->
+      let get tm = List.assoc (tm, mname) !contended in
+      let of_spc, of_rmr = get "ofree" in
+      List.iter
+        (fun (module T : Tm_intf.S) ->
+          let c_spc, c_rmr = get T.name in
+          if of_spc <= c_spc || of_rmr <= c_rmr then begin
+            Fmt.pr
+              "e18: expected ofree to out-pay %s on %s \
+               (steps/cmt %.1f vs %.1f, rmr/cmt %.1f vs %.1f)@."
+              T.name mname of_spc c_spc of_rmr c_rmr;
+            exit 1
+          end)
+        e18_contrast_tms)
+    (List.filter (fun (m, _) -> m <> "read-mostly") e17_mixes);
+  (* -- claim 2: the payoff, crash-stop under load ------------------- *)
+  let crash_clients = if quick then 16 else 32 in
+  let crash_txs = if quick then 8 else 16 in
+  (* the detector counts consecutive aborted attempts across ALL clients,
+     so a fair window scales with concurrency: a latch must mean nobody
+     can commit (the corpse's doing), not that many clients briefly
+     collided. dstm's survivors abort unboundedly on the corpse's orec,
+     so any finite window still catches the lock-based TMs. *)
+  let crash_window = 4 * crash_clients in
+  Fmt.pr
+    "@.crash cell: p1 crash-stops at its 30th slot, livelock window %d, \
+     write-heavy mix@."
+    crash_window;
+  Fmt.pr "%-12s %9s %7s %7s %10s  %s@." "tm" "committed" "failed" "unstart"
+    "steps" "outcome";
+  let crash_cfg =
+    {
+      Load.default_config with
+      Load.clients = crash_clients;
+      nprocs = 4;
+      nobjs = 16;
+      txs_per_client = crash_txs;
+      mix =
+        {
+          Load.dist = Workload.Uniform;
+          hotspot = None;
+          write_ratio = 0.9;
+          ops_min = 2;
+          ops_max = 6;
+        };
+      seed = 18;
+      retries = 32;
+      faults = [ Ptm_machine.Fault.crash ~pid:1 ~at:30 ];
+      livelock_window = Some crash_window;
+      max_slots = 2_000_000;
+      sample = 0.25;
+      rmr_models = Ptm_machine.Rmr.all_models;
+    }
+  in
+  let lock_latched = ref 0 in
+  List.iter
+    (fun (module T : Tm_intf.S) ->
+      let r = Load.run (module T) crash_cfg in
+      let latched = r.Load.starved <> [] || r.Load.out_of_slots in
+      let is_ofree =
+        List.exists
+          (fun (module O : Tm_intf.S) -> O.name = T.name)
+          e18_ofree_tms
+      in
+      Fmt.pr "%-12s %9d %7d %7d %10d  %s@." T.name r.Load.committed
+        r.Load.failed r.Load.unstarted r.Load.steps
+        (if r.Load.starved <> [] then
+           Printf.sprintf "LIVELOCK starved p[%s]"
+             (String.concat ";" (List.map string_of_int r.Load.starved))
+         else if r.Load.out_of_slots then "OUT OF SLOTS"
+         else "completed");
+      (* The default (Karma) variant must commit through the corpse: no
+         latch, and every survivor's transaction gets through — waiting
+         accrues karma, so steal wars and corpse conflicts both resolve.
+         The other managers are reported, not asserted: Aggressive can
+         livelock on mutual steals and Greedy/Timestamp starves behind
+         an elder corpse — CM choice deciding liveness is the finding,
+         not a bench failure. *)
+      if T.name = "ofree" then begin
+        if latched then begin
+          Fmt.pr "e18: %s latched under the crash — obstruction freedom \
+                  broken@." T.name;
+          exit 1
+        end;
+        (* survivors own 3/4 of the offered load; committing at least
+           half the total means the run kept flowing through the corpse
+           (retry-exhausted stragglers under the write-heavy mix are
+           reported above, not hidden) *)
+        if 2 * r.Load.committed < crash_clients * crash_txs then begin
+          Fmt.pr "e18: %s committed only %d of %d under the crash@." T.name
+            r.Load.committed (crash_clients * crash_txs);
+          exit 1
+        end
+      end;
+      if (not is_ofree) && latched then incr lock_latched;
+      cells :=
+        cell "crash" r
+          (String.concat "," (List.map string_of_int r.Load.starved))
+        :: !cells)
+    (e18_ofree_tms @ e18_contrast_tms
+    @ [ Option.get (Ptm_tms.Registry.by_name "sgl.x4") ]);
+  if !lock_latched = 0 then begin
+    Fmt.pr
+      "e18: no lock-based TM latched under the crash — the contrast cell \
+       lost its contrast@.";
+    exit 1
+  end;
+  Fmt.pr
+    "@.The price: on the contended mixes ofree pays more steps and RMRs \
+     per commit than@.the lock-based TMs (stolen ownership re-executes the \
+     victim's work; every@.acquisition is a CAS). The payoff: under \
+     crash-stop %d lock-based cell(s)@.latched near zero commits while \
+     ofree under Karma kept committing the@.survivors' load.\
+     @.CM choice decides liveness \
+     even inside the obstruction-free family: Aggressive@.can livelock on \
+     mutual steals and Greedy/Timestamp starves behind a corpse@.holding \
+     an elder stamp; Karma's wait-accrual ages every waiter past both.@."
+    !lock_latched;
+  if !violations > 0 then begin
+    Fmt.pr "e18: %d opacity violation(s)@." !violations;
+    exit 1
+  end;
+  List.rev !cells
+
+(* DPOR of the ofree conflict fixture under a crash budget, per contention
+   manager, on both engines — the crash-resilience study's state-space
+   side: every reachable leaf (including crash-truncated ones) must be
+   opacity-clean, and the engines must run bit-identical searches. Cells
+   are emitted in the E11 format for the explore gate family. *)
+let e18_explore ?(quick = false) () =
+  hr
+    "E18b. Obstruction freedom explored: DPOR with a crash budget, per \
+     contention manager, fibers vs steps";
+  let min_time = if quick then 0.02 else 0.2 in
+  let cells = ref [] in
+  Fmt.pr "%-16s %10s %6s %6s %14s %14s %8s@." "config" "paths" "cut" "faults"
+    "fibers leaves/s" "steps leaves/s" "speedup";
+  List.iter
+    (fun (module T : Tm_intf.S_step) ->
+      let measure engine =
+        timed_runs min_time (fun () ->
+            Ptm_machine.Explore.run
+              ~mk:(bench_mk_tm_step (module T) engine Ptm_machine.Trace.Off)
+              ~max_steps:60 ~max_paths:4_000_000 ~mode:Ptm_machine.Explore.Dpor
+              ~crashes:1 ())
+      in
+      let sf, reps_f, dt_f, rps_f = measure Ptm_machine.Machine.Fibers in
+      let ss, reps_s, dt_s, rps_s = measure Ptm_machine.Machine.Steps in
+      assert (sf = ss);
+      let open Ptm_machine.Explore in
+      if ss.violations > 0 then begin
+        Fmt.pr "e18b: %s: %d violation(s) under the crash budget@." T.name
+          ss.violations;
+        exit 1
+      end;
+      let leaves = ss.paths + ss.cut in
+      let lf = float_of_int leaves *. rps_f
+      and ls = float_of_int leaves *. rps_s in
+      let cname = T.name ^ "-step" in
+      Fmt.pr "%-16s %10d %6d %6d %14.0f %14.0f %7.2fx@." cname ss.paths ss.cut
+        ss.fault_branches lf ls (ls /. lf);
+      let cell engine (s : stats) reps dt lps =
+        ( ((cname, "dpor-crash1", "off", engine, "full"), lps),
+          Printf.sprintf
+            "    {\"config\":%S,\"mode\":\"dpor-crash1\",\"trace\":\"off\",\
+             \"engine\":%S,\"fuse\":\"full\",\"paths\":%d,\"cut\":%d,\
+             \"pruned\":%d,\"violations\":%d,\"fault_branches\":%d,\
+             \"steps\":%d,\"repeats\":%d,\"elapsed_s\":%.4f,\
+             \"leaves_per_sec\":%.1f}"
+            cname engine s.paths s.cut s.pruned s.violations s.fault_branches
+            s.steps reps dt lps )
+      in
+      cells :=
+        cell "steps" ss reps_s dt_s ls
+        :: cell "fibers" sf reps_f dt_f lf
+        :: !cells)
+    Ptm_tms.Registry.ofree_cms_stepwise;
+  Fmt.pr
+    "@.Every leaf of every CM's crash-budget search is reachable and \
+     violation-free,@.and the engines agree bit for bit.@.";
+  List.rev !cells
+
+(* BENCH_load.json for the E17 and E18 load cells, same line-per-cell
+   shape as BENCH_explore.json so the gate shares one parser. *)
 let write_load_json cells =
   let oc = open_out "BENCH_load.json" in
-  output_string oc "{\n  \"experiment\": \"E17\",\n  \"cells\": [\n";
+  output_string oc "{\n  \"experiment\": \"E17+E18\",\n  \"cells\": [\n";
   output_string oc (String.concat ",\n" (List.map snd cells));
   output_string oc "\n  ]\n}\n";
   close_out oc;
   Fmt.pr "Wrote BENCH_load.json (%d cells).@." (List.length cells)
 
 (* One BENCH_explore.json for the CI perf-smoke artifact, fed by the E11,
-   E14, E15 and E16 cells together. *)
+   E14, E15, E16 and E18b cells together. *)
 let write_explore_json cells =
   let oc = open_out "BENCH_explore.json" in
-  output_string oc "{\n  \"experiment\": \"E11+E14+E15+E16\",\n  \"cells\": [\n";
+  output_string oc
+    "{\n  \"experiment\": \"E11+E14+E15+E16+E18b\",\n  \"cells\": [\n";
   output_string oc (String.concat ",\n" (List.map snd cells));
   output_string oc "\n  ]\n}\n";
   close_out oc;
@@ -1527,11 +1833,12 @@ let gate ?(quick = false) () =
   let explore_fresh, explore_failed =
     run_family ~family:"explore" ~required:true ~baseline:explore_baseline
       ~measure:(fun () ->
-        e11 ~quick () @ e14 ~quick () @ e15 ~quick () @ e16 ~quick ())
+        e11 ~quick () @ e14 ~quick () @ e15 ~quick () @ e16 ~quick ()
+        @ e18_explore ~quick ())
   in
   let load_fresh, load_failed =
     run_family ~family:"load" ~required:false ~baseline:load_baseline
-      ~measure:(fun () -> e17 ~quick ())
+      ~measure:(fun () -> e17 ~quick () @ e18_load ~quick ())
   in
   write_explore_json explore_fresh;
   write_load_json load_fresh;
@@ -1616,13 +1923,18 @@ let () =
     "Progressive Transactional Memory in Time and Space — experiment suite@.";
   if arg "e11" then
     write_explore_json
-      (e11 ~quick () @ e14 ~quick () @ e15 ~quick () @ e16 ~quick ())
+      (e11 ~quick () @ e14 ~quick () @ e15 ~quick () @ e16 ~quick ()
+      @ e18_explore ~quick ())
   else if arg "e12" then e12 ~quick ()
   else if arg "e13" then e13 ()
   else if arg "e14" then ignore (e14 ~quick ())
   else if arg "e15" then ignore (e15 ~quick ())
   else if arg "e16" then ignore (e16 ~quick ())
-  else if arg "e17" then write_load_json (e17 ~quick ())
+  else if arg "e17" then write_load_json (e17 ~quick () @ e18_load ~quick ())
+  else if arg "e18" then begin
+    ignore (e18_explore ~quick ());
+    ignore (e18_load ~quick ())
+  end
   else if arg "gate" then gate ~quick:true ()
   else begin
     e1 ();
@@ -1639,8 +1951,9 @@ let () =
     let c14 = e14 ~quick () in
     let c15 = e15 ~quick () in
     let c16 = e16 ~quick () in
-    write_explore_json (c11 @ c14 @ c15 @ c16);
-    write_load_json (e17 ~quick ());
+    let c18x = e18_explore ~quick () in
+    write_explore_json (c11 @ c14 @ c15 @ c16 @ c18x);
+    write_load_json (e17 ~quick () @ e18_load ~quick ());
     if not fast then bechamel_pass ()
   end;
   Fmt.pr "@.done.@."

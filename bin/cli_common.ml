@@ -92,6 +92,74 @@ let fault_conv =
   in
   Arg.conv (parse, Ptm_machine.Fault.pp)
 
+let cm_conv =
+  let parse s =
+    match Ptm_core.Cm.kind_of_name (String.lowercase_ascii s) with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown contention manager %S (try: %s)" s
+               (String.concat ", "
+                  (List.map Ptm_core.Cm.kind_name Ptm_core.Cm.all_kinds))))
+  in
+  let print ppf k = Fmt.string ppf (Ptm_core.Cm.kind_name k) in
+  Arg.conv (parse, print)
+
+let cm_arg =
+  Arg.(
+    value
+    & opt (some cm_conv) None
+    & info [ "cm" ] ~docv:"CM"
+        ~doc:
+          "Contention manager for the obstruction-free TM family \
+           ($(b,aggr)|$(b,polite)|$(b,karma)|$(b,ts)): replaces any \
+           selected ofree variant with the one running $(docv). Rejected \
+           when no selected TM is in the family (lock-based TMs have no \
+           conflict-time choice to make).")
+
+(* Apply --cm: swap every ofree-family TM for the variant under the given
+   manager; error out if the flag can affect nothing. *)
+let is_ofree name =
+  name = "ofree"
+  || (String.length name > 6 && String.sub name 0 6 = "ofree+")
+
+let apply_cm cm tms =
+  match cm with
+  | None -> tms
+  | Some kind ->
+      let hit = ref false in
+      let tms =
+        List.map
+          (fun ((module T : Ptm_core.Tm_intf.S) as tm) ->
+            if is_ofree T.name then begin
+              hit := true;
+              Ptm_tms.Registry.ofree_with_cm kind
+            end
+            else tm)
+          tms
+      in
+      if not !hit then begin
+        Fmt.epr
+          "--cm only applies to the obstruction-free family (ofree*): none \
+           selected@.";
+        exit 2
+      end;
+      tms
+
+let apply_cm_step cm ((module T : Ptm_core.Tm_intf.S_step) as tm) =
+  match cm with
+  | None -> tm
+  | Some kind ->
+      if is_ofree T.name then Ptm_tms.Registry.ofree_with_cm_step kind
+      else begin
+        Fmt.epr
+          "--cm only applies to the obstruction-free family (ofree*), not \
+           %s@."
+          T.name;
+        exit 2
+      end
+
 let tm_arg =
   Arg.(
     value

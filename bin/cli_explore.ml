@@ -197,7 +197,8 @@ let explore_cmd =
   let run (module L : Ptm_mutex.Mutex_intf.S) max_steps nprocs max_paths
       reduce domains compare progress_every trace pool checkpoint_stride
       (fuse, batch, incr_dpor) crashes stalls stall_steps checkpoint_file
-      resume tm_step engine check =
+      resume tm_step cm engine check =
+    let tm_step = Option.map (Cli_common.apply_cm_step cm) tm_step in
     (if check <> None && tm_step = None then begin
        Fmt.epr "--check requires a --tm fixture (lock leaves have no TM \
                 history)@.";
@@ -412,4 +413,5 @@ let explore_cmd =
       const run $ lock_arg $ steps_arg $ procs_arg $ paths_arg $ reduce_arg
       $ domains_arg $ compare_arg $ progress_arg $ trace_arg $ pool_arg
       $ stride_arg $ fuse_arg $ crashes_arg $ stalls_arg $ stall_steps_arg
-      $ checkpoint_arg $ resume_arg $ tm_step_arg $ engine_arg $ check_arg)
+      $ checkpoint_arg $ resume_arg $ tm_step_arg $ Cli_common.cm_arg
+      $ engine_arg $ check_arg)

@@ -86,7 +86,7 @@ let json_cell cfg (r : Load.result) =
      \"objs\":%d,\"committed\":%d,\"aborted\":%d,\"failed\":%d,\
      \"unstarted\":%d,\"steps\":%d,\"wasted\":%d,\"idle\":%d,\
      \"abort_rate\":%.4f,\"tx_per_sec\":%.1f,\"wall_s\":%.4f,\
-     \"verdict\":%S%s}"
+     \"verdict\":%S,\"starved\":[%s]%s}"
     r.Load.tm
     (Format.asprintf "%a" Load.pp_mix cfg.Load.mix)
     (match cfg.Load.model with
@@ -96,6 +96,7 @@ let json_cell cfg (r : Load.result) =
     r.Load.aborted r.Load.failed r.Load.unstarted r.Load.steps r.Load.wasted
     r.Load.idle (Load.abort_rate r) (Load.throughput r) r.Load.wall
     (verdict_str r.Load.verdict)
+    (String.concat "," (List.map string_of_int r.Load.starved))
     (String.concat ""
        (List.map
           (fun (m, n) -> Printf.sprintf ",\"rmr_%s\":%d" m n)
@@ -214,6 +215,17 @@ let load_cmd =
           ~doc:"Account RMRs online in all three cost models (CC/WT, CC/WB, \
                 DSM).")
   in
+  let livelock_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "livelock-window" ] ~docv:"W"
+          ~doc:
+            "Arm the livelock detector across all client schedulers: \
+             $(docv) consecutive aborted attempts with no commit anywhere \
+             latch the run (schedulers stop issuing transactions instead \
+             of spinning an open-loop backlog forever) and the starved \
+             processes are reported. 0: off.")
+  in
   let json_arg =
     Arg.(
       value
@@ -221,9 +233,9 @@ let load_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Also write the per-TM results as a JSON cell array to $(docv).")
   in
-  let run tms clients nprocs nobjs txs model dist hotspot write_ratio
-      (ops_min, ops_max) seed retries sample frontier max_slots rmr json
-      faults =
+  let run tms cm clients nprocs nobjs txs model dist hotspot write_ratio
+      (ops_min, ops_max) seed retries sample frontier max_slots rmr
+      livelock_window json faults =
     let cfg =
       {
         Load.clients;
@@ -238,10 +250,12 @@ let load_cmd =
         faults;
         rmr_models = (if rmr then Ptm_machine.Rmr.all_models else []);
         max_slots;
+        livelock_window =
+          (if livelock_window > 0 then Some livelock_window else None);
         monitor_frontier = frontier;
       }
     in
-    let tms = resolve_tms tms in
+    let tms = Cli_common.apply_cm cm (resolve_tms tms) in
     Fmt.pr "load: %d clients / %d procs / %d objs, %d txs each, %a@." clients
       nprocs nobjs txs Load.pp_mix cfg.Load.mix;
     let violations = ref 0 in
@@ -256,6 +270,12 @@ let load_cmd =
               Fmt.epr "%s: OPACITY VIOLATION %a@." r.Load.tm
                 Opacity_stream.pp_violation v
           | _ -> ());
+          (match r.Load.starved with
+          | [] -> ()
+          | ps ->
+              Fmt.pr "%s: livelock latched, starved processes %a@." r.Load.tm
+                Fmt.(list ~sep:comma int)
+                ps);
           if r.Load.out_of_slots then
             Fmt.pr "%s: out of slots (budget %d)@." r.Load.tm max_slots;
           r)
@@ -298,7 +318,8 @@ let load_cmd =
               --max-slots 2000000";
          ])
     Term.(
-      const run $ tms_arg $ clients_arg $ procs_arg $ objs_arg $ txs_arg
-      $ model_arg $ dist_arg $ hot_arg $ write_ratio_arg $ ops_arg $ seed_arg
-      $ retries_arg $ sample_arg $ frontier_arg $ max_slots_arg $ rmr_arg
-      $ json_arg $ Cli_common.faults_arg)
+      const run $ tms_arg $ Cli_common.cm_arg $ clients_arg $ procs_arg
+      $ objs_arg $ txs_arg $ model_arg $ dist_arg $ hot_arg $ write_ratio_arg
+      $ ops_arg $ seed_arg $ retries_arg $ sample_arg $ frontier_arg
+      $ max_slots_arg $ rmr_arg $ livelock_arg $ json_arg
+      $ Cli_common.faults_arg)

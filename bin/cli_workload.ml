@@ -123,8 +123,9 @@ let run_cmd =
              is unaffected) and reports its verdict; a violation exits \
              nonzero.")
   in
-  let run tm seed nprocs nobjs txs faults retries backoff livelock_window
+  let run tm cm seed nprocs nobjs txs faults retries backoff livelock_window
       max_steps monitor =
+    let tm = List.hd (Cli_common.apply_cm cm [ tm ]) in
     let w =
       Ptm_core.Workload.random ~seed ~nprocs ~nobjs ~txs_per_proc:txs
         ~ops_per_tx:3 ()
@@ -192,8 +193,11 @@ let run_cmd =
            `Pre
              "  ptm run --tm tl2 --fault crash:0@6 --fault stall:1@2+8 \
               --livelock-window 32 --max-steps 20000";
+           `P "Crash an obstruction-free owner mid-transaction and watch \
+               peers steal through it:";
+           `Pre "  ptm run --tm ofree --cm aggr --fault crash:0@6";
          ])
     Term.(
-      const run $ tm_arg $ seed_arg $ nprocs_arg $ nobjs_arg $ txs_arg
-      $ faults_arg $ retries_arg $ backoff_arg $ livelock_arg $ max_steps_arg
-      $ monitor_arg)
+      const run $ tm_arg $ cm_arg $ seed_arg $ nprocs_arg $ nobjs_arg
+      $ txs_arg $ faults_arg $ retries_arg $ backoff_arg $ livelock_arg
+      $ max_steps_arg $ monitor_arg)

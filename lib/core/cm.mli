@@ -1,0 +1,73 @@
+(** Pluggable contention managers for obstruction-free TMs.
+
+    An obstruction-free TM resolves an ownership conflict (a t-object held
+    by a rival transaction that is still {e active}) by consulting a
+    contention manager: {e steal} the object by CAS-aborting the rival,
+    {e wait} for the rival to finish, or {e abort itself}. The policy is
+    pure heuristic — any choice is safe, since stealing is a single CAS on
+    the rival's status word that works just as well when the rival crashed
+    mid-transaction — but it decides livelock behaviour, abort rates and
+    fairness (Scherer & Scott, PODC'05).
+
+    Determinism: managers never consult wall-clock time. All their state
+    (per-process priorities, a logical timestamp clock) lives in machine
+    cells accessed with {!Ptm_machine.Memory.peek}/[poke] — no events, so
+    decisions are free in the step model, and explorer machine restarts
+    replay them faithfully. "Time" for the Polite manager is the caller's
+    [waited] count: how many conflict-loop iterations (each a real machine
+    step re-reading the rival's status) this operation has already spent
+    on this conflict. *)
+
+type kind =
+  | Aggressive  (** always steal: minimal latency, maximal mutual aborts *)
+  | Polite
+      (** bounded spin: wait a fixed number of conflict re-reads, then
+          steal — the backoff analogue, still obstruction-free *)
+  | Karma
+      (** priority accumulation: a transaction's karma counts the t-objects
+          it has opened, kept across aborts and reset on commit; steal iff
+          own karma is at least the owner's, otherwise wait (each wait
+          accrues karma, so every waiter eventually steals) *)
+  | Timestamp
+      (** greedy: each transaction draws a birth timestamp from a logical
+          clock at its first conflict and keeps it across retries; older
+          steals from younger, younger waits boundedly then aborts itself.
+          {b Not} crash-tolerant when the crashed owner is older — the
+          younger rival self-aborts forever (measured honestly in E18). *)
+
+val all_kinds : kind list
+
+val kind_name : kind -> string
+(** ["aggr"], ["polite"], ["karma"], ["ts"]. *)
+
+val kind_of_name : string -> kind option
+(** Inverse of {!kind_name}; also accepts ["aggressive"], ["timestamp"]
+    and ["greedy"]. *)
+
+type decision =
+  | Steal  (** CAS the owner's status word from active to aborted *)
+  | Wait  (** re-read the owner's status (one machine step) and retry *)
+  | Self_abort  (** give up this transaction attempt *)
+
+type t
+
+val create : Ptm_machine.Machine.t -> kind -> t
+(** Allocate the manager's cells (set-up, not steps). One manager serves
+    every process of the machine; a sharded TM creates one per shard. *)
+
+val kind : t -> kind
+
+val decide : t -> pid:int -> owner:int -> waited:int -> decision
+(** Resolve a conflict: [pid] found a t-object owned by the active rival
+    transaction run by [owner]; [waited] is the number of times this
+    operation has already looped on this conflict. Event-free (peeks and
+    pokes only) — the caller realizes [Wait] as a real status re-read. *)
+
+val on_open : t -> pid:int -> unit
+(** Account one t-object opened (read or acquired) by [pid]'s current
+    transaction — Karma's investment measure. *)
+
+val on_commit : t -> pid:int -> unit
+(** [pid]'s transaction committed: reset its karma / timestamp. Aborted
+    transactions keep both (that is Karma's and Greedy's fairness lever:
+    priority survives retries). *)

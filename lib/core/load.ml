@@ -67,6 +67,12 @@ type config = {
   faults : Fault.spec list;
   rmr_models : Rmr.model list;
   max_slots : int;  (** scheduler budget (crash survivors can spin forever) *)
+  livelock_window : int option;
+      (** arm the {!Runner.Livelock} detector: that many consecutive
+          aborted attempts with no commit anywhere latch the run — client
+          schedulers stop issuing transactions instead of spinning an
+          open-loop backlog forever (a crashed lock holder under
+          saturation) *)
   monitor_frontier : int;
       (** checker frontier cap: write-heavy mixes accumulate genuinely
           order-ambiguous overlapping commits, and past the cap the
@@ -94,6 +100,7 @@ let default_config =
     faults = [];
     rmr_models = [];
     max_slots = 50_000_000;
+    livelock_window = None;
     monitor_frontier = 256;
   }
 
@@ -107,6 +114,9 @@ type result = {
   wasted : int;  (** steps spent inside aborted attempts *)
   idle : int;  (** idle ticks across all processes *)
   rmr : (string * int) list;  (** total per requested model *)
+  starved : int list;
+      (** processes looping on aborts when the livelock detector tripped
+          ([] when it never did, or was not armed) *)
   verdict : Opacity_stream.verdict option;  (** [None] when [sample = 0] *)
   monitor_stats : Opacity_stream.stats option;
   monitored_clients : int;
@@ -124,7 +134,7 @@ let throughput r =
 let pp_result ppf r =
   Format.fprintf ppf
     "%s: %d committed, %d aborted (rate %.3f), %d failed, %d unstarted, %d \
-     steps (%d wasted, %d idle)%a%s, %.0f tx/s"
+     steps (%d wasted, %d idle)%a%s%s, %.0f tx/s"
     r.tm r.committed r.aborted (abort_rate r) r.failed r.unstarted r.steps
     r.wasted r.idle
     (fun ppf -> function
@@ -132,6 +142,11 @@ let pp_result ppf r =
       | rmr ->
           List.iter (fun (m, n) -> Format.fprintf ppf ", %s %d" m n) rmr)
     r.rmr
+    (match r.starved with
+    | [] -> ""
+    | ps ->
+        Printf.sprintf ", LIVELOCK starved p[%s]"
+          (String.concat ";" (List.map string_of_int ps)))
     (match r.verdict with
     | None -> ""
     | Some v -> Format.asprintf ", monitor %a" Opacity_stream.pp_verdict v)
@@ -308,6 +323,19 @@ let run (module T : Tm_intf.S) cfg =
     else (None, None)
   in
   Machine.set_faults m cfg.faults;
+  (* Livelock latch: shared across all client schedulers — consecutive
+     aborted attempts with no commit anywhere trip it, and every scheduler
+     then stops issuing transactions (the open-loop backlog would
+     otherwise spin against e.g. a crashed lock holder until the slot
+     budget runs dry). *)
+  let det =
+    Option.map
+      (fun window -> Runner.Livelock.create ~window ~nprocs:cfg.nprocs ())
+      cfg.livelock_window
+  in
+  let gave_up () =
+    match det with Some d -> Runner.Livelock.tripped d | None -> false
+  in
   (* per-process accounting, mutated from inside the process bodies (host
      state: fine for a single live run that never restarts) *)
   let committed = Array.make cfg.nprocs 0 in
@@ -351,7 +379,7 @@ let run (module T : Tm_intf.S) cfg =
         (Ok ()) ops
     in
     Machine.spawn m pid (fun () ->
-        while not (exhausted ()) do
+        while not (exhausted ()) && not (gave_up ()) do
           let now = Machine.steps_of m pid in
           match pick now with
           | None ->
@@ -371,12 +399,19 @@ let run (module T : Tm_intf.S) cfg =
                   | Error `Abort -> Error `Abort
                 in
                 match outcome with
-                | Ok () -> committed.(pid) <- committed.(pid) + 1
+                | Ok () ->
+                    committed.(pid) <- committed.(pid) + 1;
+                    (match det with
+                    | Some d -> Runner.Livelock.record_commit d pid
+                    | None -> ())
                 | Error `Abort ->
                     aborted.(pid) <- aborted.(pid) + 1;
                     wasted.(pid) <-
                       wasted.(pid) + (Machine.steps_of m pid - s0);
-                    if k < cfg.retries then attempt (k + 1)
+                    (match det with
+                    | Some d -> Runner.Livelock.record_abort d pid
+                    | None -> ());
+                    if k < cfg.retries && not (gave_up ()) then attempt (k + 1)
                     else failed.(pid) <- failed.(pid) + 1
               in
               attempt 0;
@@ -442,6 +477,10 @@ let run (module T : Tm_intf.S) cfg =
         (fun (model, st) ->
           (Rmr.model_name model, (Rmr.Stream.counts st).Rmr.total))
         streams;
+    starved =
+      (match det with
+      | Some d when Runner.Livelock.tripped d -> Runner.Livelock.starved d
+      | _ -> []);
     verdict = Option.map Opacity_stream.verdict chk;
     monitor_stats = Option.map Opacity_stream.stats chk;
     monitored_clients = !monitored;

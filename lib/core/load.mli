@@ -54,6 +54,13 @@ type config = {
   max_slots : int;
       (** scheduler budget — crash survivors can spin forever on a base
           object the crashed process holds *)
+  livelock_window : int option;
+      (** arm the {!Runner.Livelock} detector across all client
+          schedulers: that many consecutive aborted attempts with no
+          commit anywhere latch the run — schedulers stop issuing
+          transactions (remaining ones count as unstarted, the aborted
+          one as failed) instead of spinning an open-loop backlog against
+          e.g. a crashed lock holder until the slot budget runs dry *)
   monitor_frontier : int;
       (** frontier cap of the streaming checker (its default is 256):
           write-heavy mixes accumulate overlapping write-only commits
@@ -75,6 +82,9 @@ type result = {
   wasted : int;  (** steps spent inside aborted attempts *)
   idle : int;  (** idle ticks across all processes *)
   rmr : (string * int) list;  (** totals, per requested model *)
+  starved : int list;
+      (** processes looping on aborts when the livelock detector tripped
+          ([] when it never did, or was not armed) *)
   verdict : Opacity_stream.verdict option;  (** [None] when [sample = 0] *)
   monitor_stats : Opacity_stream.stats option;
   monitored_clients : int;

@@ -15,9 +15,18 @@ val escape_class : Ptm_core.Tm_intf.tm list
 
 val sharded : Ptm_core.Tm_intf.tm list
 (** The sharded multi-TM family ({!Sharded.Make} at 4 shards over NOrec,
-    TL2, undo-log and SGL — names ["norec.x4"] etc.). Excluded from {!all}:
-    generic property tests assume the inner TMs' fine-grained guarantees,
-    which sharding deliberately forfeits (see {!Sharded}). *)
+    TL2, undo-log, SGL and Ofree — names ["norec.x4"] etc.). Excluded from
+    {!all}: generic property tests assume the inner TMs' fine-grained
+    guarantees, which sharding deliberately forfeits (see {!Sharded}). *)
+
+val ofree_cms : Ptm_core.Tm_intf.tm list
+(** The obstruction-free family under every contention manager: ["ofree"]
+    (Karma, the only variant also in {!all}), ["ofree+aggr"],
+    ["ofree+polite"], ["ofree+ts"]. E18's sweep axis. *)
+
+val ofree_with_cm : Ptm_core.Cm.kind -> Ptm_core.Tm_intf.tm
+(** The {!Ofree} variant running the given contention manager (the [--cm]
+    flag's resolution). *)
 
 val by_name : string -> Ptm_core.Tm_intf.tm option
 
@@ -27,9 +36,15 @@ val stepwise : Ptm_core.Tm_intf.tm_step list
     modules in {!all} are derived from these, so the two forms are
     event-identical. *)
 
+val ofree_cms_stepwise : Ptm_core.Tm_intf.tm_step list
+(** Step forms of {!ofree_cms}, for exploration per contention manager. *)
+
+val ofree_with_cm_step : Ptm_core.Cm.kind -> Ptm_core.Tm_intf.tm_step
+(** Step form of {!ofree_with_cm}. *)
+
 val sharded_stepwise : Ptm_core.Tm_intf.tm_step list
 (** Step-form sharded instantiations ({!Sharded.Make_step} at 4 shards
-    over the step-form NOrec and SGL). *)
+    over the step-form NOrec, SGL and Ofree). *)
 
 val stepwise_by_name : string -> Ptm_core.Tm_intf.tm_step option
-(** Looks up {!stepwise} and {!sharded_stepwise}. *)
+(** Looks up {!stepwise}, {!sharded_stepwise} and {!ofree_cms_stepwise}. *)

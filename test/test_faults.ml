@@ -434,6 +434,75 @@ let test_algorithm1_deadlocks_under_crash () =
     true (!deadlocks > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Crash inside the sharded commit fence: the 2PC coordinator's death  *)
+(* starves the peer's shards (the lock-based liveness trade); the      *)
+(* obstruction-free TM steals through the same corpse and finishes.    *)
+(* ------------------------------------------------------------------ *)
+
+(* Both processes write objects in two different shards of an .x4 TM, so
+   try_commit runs the multi-fence acquisition; a crash while p0 holds a
+   fence leaves p1 spinning in the stable-window loop until the step
+   budget runs out. The identical workload and fault plans drive ofree
+   in the contrast test below. *)
+let cross_shard_workload =
+  {
+    Workload.nobjs = 8;
+    procs =
+      Array.init 2 (fun pid ->
+          [
+            [ Workload.W (0, pid + 1); Workload.W (1, pid + 10) ];
+            [ Workload.R 0; Workload.W (5, pid + 20) ];
+          ]);
+  }
+
+let p1_commits o =
+  List.length
+    (List.filter
+       (fun (t : History.txr) ->
+         t.History.pid = 1 && t.History.status = History.Committed)
+       o.Runner.history.History.txns)
+
+let crash_sweep tm ~at =
+  Runner.run tm ~retries:50
+    ~faults:[ Fault.crash ~pid:0 ~at ]
+    ~max_steps:20_000 ~livelock_window:64
+    ~schedule:(Runner.Random_sched (17 + at))
+    cross_shard_workload
+
+let test_fence_crash_starves_sharded () =
+  let tm = Option.get (Ptm_tms.Registry.by_name "sgl.x4") in
+  let starved = ref 0 in
+  for at = 0 to 39 do
+    let o = crash_sweep tm ~at in
+    (* safety always survives the fence crash... *)
+    not_falsified (Checker.strictly_serializable o.Runner.history);
+    if o.Runner.out_of_steps || o.Runner.starved <> [] || p1_commits o < 2
+    then incr starved
+  done;
+  (* ...liveness must not: some crash placement catches p0 holding a
+     fence, and p1 never gets its transactions through. *)
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "a fence-holding crash starves the peer's shards (%d/40 slots)"
+       !starved)
+    true (!starved > 0)
+
+let test_fence_crash_ofree_survives () =
+  for at = 0 to 39 do
+    let o = crash_sweep (module Ptm_tms.Ofree) ~at in
+    not_falsified (Checker.strictly_serializable o.Runner.history);
+    Alcotest.(check bool)
+      (Printf.sprintf "ofree never runs out of steps (crash at %d)" at)
+      false o.Runner.out_of_steps;
+    Alcotest.(check (list int))
+      (Printf.sprintf "ofree never livelocks (crash at %d)" at)
+      [] o.Runner.starved;
+    Alcotest.(check int)
+      (Printf.sprintf "p1 commits both transactions (crash at %d)" at)
+      2 (p1_commits o)
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Back-off and livelock detection                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -550,6 +619,12 @@ let () =
           test_crash_truncated_sweep;
         Alcotest.test_case "injected aborts exempt from progress" `Quick
           test_injected_abort_exempt;
+      ]);
+      ("fence-crash", [
+        Alcotest.test_case "2PC fence crash starves sharded peer" `Quick
+          test_fence_crash_starves_sharded;
+        Alcotest.test_case "ofree commits through the same crash plans" `Quick
+          test_fence_crash_ofree_survives;
       ]);
       ("algorithm1", [
         Alcotest.test_case "mutex deadlocks when holder crashes" `Quick
